@@ -1,0 +1,91 @@
+//! Latency of the admission-control fast and slow paths.
+//!
+//! The paper argues (§5) that run-time admission decisions must be cheap:
+//! the analytic model is evaluated offline into a lookup table, and the
+//! per-request decision is a comparison. These benches measure all three
+//! tiers: a single Chernoff bound evaluation, a full N_max search, and the
+//! table lookup that actually sits on the request path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mzd_core::GuaranteeModel;
+use std::hint::black_box;
+
+fn bench_admission(c: &mut Criterion) {
+    let model = GuaranteeModel::paper_reference().expect("valid model");
+
+    c.bench_function("chernoff_p_late_single_eval", |b| {
+        b.iter(|| {
+            model
+                .p_late_bound(black_box(27), black_box(1.0))
+                .expect("valid")
+        })
+    });
+
+    c.bench_function("p_glitch_bound_n28", |b| {
+        b.iter(|| {
+            model
+                .p_glitch_bound(black_box(28), black_box(1.0))
+                .expect("valid")
+        })
+    });
+
+    c.bench_function("p_error_bound_n28_m1200", |b| {
+        b.iter(|| {
+            model
+                .p_error_bound(
+                    black_box(28),
+                    black_box(1.0),
+                    black_box(1200),
+                    black_box(12),
+                )
+                .expect("valid")
+        })
+    });
+
+    c.bench_function("n_max_late_search", |b| {
+        b.iter(|| {
+            model
+                .n_max_late(black_box(1.0), black_box(0.01))
+                .expect("valid")
+        })
+    });
+
+    c.bench_function("n_max_error_search", |b| {
+        b.iter(|| {
+            model
+                .n_max_error(
+                    black_box(1.0),
+                    black_box(1200),
+                    black_box(12),
+                    black_box(0.01),
+                )
+                .expect("valid")
+        })
+    });
+
+    let table = model
+        .admission_table_late(1.0, &[0.001, 0.005, 0.01, 0.05, 0.1])
+        .expect("valid table");
+    c.bench_function("admission_table_lookup", |b| {
+        b.iter(|| table.lookup(black_box(0.013)))
+    });
+
+    c.bench_function("saddlepoint_p_late_single_eval", |b| {
+        b.iter(|| {
+            model
+                .p_late_estimate(black_box(28), black_box(1.0))
+                .expect("valid")
+        })
+    });
+
+    c.bench_function("exact_p_late_gil_pelaez", |b| {
+        b.iter(|| {
+            model
+                .p_late_exact(black_box(28), black_box(1.0))
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

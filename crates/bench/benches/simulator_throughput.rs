@@ -1,0 +1,42 @@
+//! Simulator throughput: rounds per second at the paper's reference
+//! multiprogramming levels — determines how long the Figure 1 / Table 2
+//! regeneration takes and how fine a confidence interval is affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mzd_sim::{RoundSimulator, SeekPolicy, SimConfig};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_round");
+    for n in [8u32, 27, 64] {
+        group.throughput(Throughput::Elements(u64::from(n)));
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, &n| {
+            let mut sim = RoundSimulator::new(SimConfig::paper_reference().expect("valid"), 7)
+                .expect("valid");
+            b.iter(|| black_box(sim.run_round(n)));
+        });
+        group.bench_with_input(BenchmarkId::new("fcfs", n), &n, |b, &n| {
+            let mut cfg = SimConfig::paper_reference().expect("valid");
+            cfg.seek_policy = SeekPolicy::Fcfs;
+            let mut sim = RoundSimulator::new(cfg, 7).expect("valid");
+            b.iter(|| black_box(sim.run_round(n)));
+        });
+    }
+    group.finish();
+
+    c.bench_function("server_round_4_disks_100_streams", |b| {
+        use mzd_server::{ServerConfig, VideoServer};
+        use mzd_workload::ObjectSpec;
+        let mut server =
+            VideoServer::new(ServerConfig::paper_reference(4).expect("valid"), 11).expect("valid");
+        for _ in 0..100 {
+            server
+                .open_stream(ObjectSpec::paper_default())
+                .expect("under the admission limit");
+        }
+        b.iter(|| black_box(server.run_round()));
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

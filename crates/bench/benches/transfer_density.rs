@@ -1,0 +1,50 @@
+//! Cost of evaluating the multi-zone transfer-time machinery (§3.2):
+//! the exact density (discrete mixture and quadrature forms), its
+//! moments, and the moment-matched Gamma construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mzd_core::{TransferTimeDensity, TransferTimeModel, ZoneHandling};
+use std::hint::black_box;
+
+fn bench_density(c: &mut Criterion) {
+    let disk = mzd_disk::profiles::quantum_viking_2_1()
+        .build()
+        .expect("valid disk");
+
+    let discrete = TransferTimeDensity::discrete(&disk, 200_000.0, 1e10).expect("valid");
+    c.bench_function("density_pdf_discrete_mixture", |b| {
+        b.iter(|| discrete.pdf(black_box(0.025)))
+    });
+
+    let continuous = TransferTimeDensity::continuous(&disk, 200_000.0, 1e10).expect("valid");
+    c.bench_function("density_pdf_continuous_gl64", |b| {
+        b.iter(|| continuous.pdf(black_box(0.025)))
+    });
+
+    c.bench_function("density_moments_closed_form", |b| {
+        b.iter(|| black_box(&discrete).moments())
+    });
+
+    c.bench_function("moment_matched_gamma_build", |b| {
+        b.iter(|| {
+            TransferTimeModel::multi_zone(
+                black_box(&disk),
+                black_box(200_000.0),
+                black_box(1e10),
+                ZoneHandling::Discrete,
+            )
+            .expect("valid")
+        })
+    });
+
+    c.bench_function("approximation_total_variation", |b| {
+        b.iter(|| {
+            discrete
+                .total_variation_error(black_box(0.25))
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

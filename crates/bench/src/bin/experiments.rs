@@ -1,0 +1,69 @@
+//! Experiment dispatcher: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! experiments <id> [--quick]
+//!
+//! ids: fig1 table2 ex31 ex32 ex33 wc approx nmax
+//!      ablate-zone ablate-scan ablate-dist all
+//! ```
+
+use mzd_bench::{experiments, Budget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let budget = Budget { quick };
+    let id = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
+
+    match id {
+        Some("fig1") => experiments::fig1(budget),
+        Some("table2") => experiments::table2(budget),
+        Some("ex31") => experiments::ex31(),
+        Some("ex32") => experiments::ex32(),
+        Some("ex33") => experiments::ex33(),
+        Some("wc") => experiments::worst_case(),
+        Some("approx") => experiments::approx(),
+        Some("nmax") => experiments::nmax_tables(),
+        Some("ablate-zone") => experiments::ablate_zone(budget),
+        Some("ablate-scan") => experiments::ablate_scan(budget),
+        Some("ablate-dist") => experiments::ablate_dist(budget),
+        Some("ablate-place") => experiments::ablate_placement(budget),
+        Some("ablate-corr") => experiments::ablate_correlation(budget),
+        Some("baselines") => experiments::baselines(budget),
+        Some("mixed") => experiments::mixed(budget),
+        Some("saddle") => experiments::saddlepoint(budget),
+        Some("buffering") => experiments::buffering(budget),
+        Some("all") => experiments::all(budget),
+        other => {
+            if let Some(o) = other {
+                eprintln!("unknown experiment id: {o}\n");
+            }
+            eprintln!(
+                "usage: experiments <id> [--quick]\n\n\
+                 ids:\n  \
+                 fig1         Figure 1: analytic vs simulated p_late(N)\n  \
+                 table2       Table 2: analytic vs simulated p_error\n  \
+                 ex31         §3.1 worked example (single-zone)\n  \
+                 ex32         §3.2 worked example (multi-zone)\n  \
+                 ex33         §3.3 worked example (glitch guarantee)\n  \
+                 wc           eq. 4.1 worst-case admission limits\n  \
+                 approx       §3.2 Gamma-approximation accuracy\n  \
+                 nmax         §5 admission lookup tables\n  \
+                 ablate-zone  zone-handling ablation\n  \
+                 ablate-scan  SCAN vs FCFS ablation\n  \
+                 ablate-dist  size-distribution ablation\n  \
+                 ablate-place placement-policy ablation\n  \
+                 ablate-corr  temporal-correlation ablation\n  \
+                 baselines    CLT/Chebyshev/independent-seek baselines\n  \
+                 mixed        mixed continuous+discrete workload\n  \
+                 saddle       saddlepoint vs Chernoff vs simulation\n  \
+                 buffering    work-ahead prefetching (\u{a7}6 buffering)\n  \
+                 all          everything, in order"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! The experiment implementations. See DESIGN.md's experiment index:
+//! E1 = Figure 1, E2 = Table 2, E3–E5 = the worked examples of §3.1–§3.3,
+//! E6 = the eq. 4.1 worst case, E7 = the §3.2 approximation validation,
+//! E8 = the §5 admission lookup tables, A1–A3 = ablations.
+
+use crate::Budget;
+use mzd_core::transfer::TransferTimeModel;
+use mzd_core::{GuaranteeModel, RoundService, TransferTimeDensity, WorstCaseRate, ZoneHandling};
+use mzd_disk::profiles;
+use mzd_sim::{estimate_p_error, estimate_p_late, SeekPolicy, SimConfig};
+use mzd_workload::SizeDistribution;
+
+/// E1 — Figure 1: analytically predicted vs simulated `p_late(N, t=1s)`.
+pub fn fig1(budget: Budget) {
+    println!("E1 / Figure 1: analytic vs simulated p_late, t = 1 s, Table 1 disk");
+    println!("(paper: analytic 1% knee at N = 26; simulated system sustains 28)\n");
+    let model = GuaranteeModel::paper_reference().expect("reference model");
+    let cfg = SimConfig::paper_reference().expect("reference sim");
+    let rounds = budget.scale(20_000);
+    let mut analytic = Vec::new();
+    let mut simulated = Vec::new();
+    println!("  N    analytic b_late    simulated p_late    95% CI");
+    for n in 14..=34u32 {
+        let a = model.p_late_bound(n, 1.0).expect("valid t");
+        let s = estimate_p_late(&cfg, n, rounds, 1_000 + u64::from(n)).expect("valid sim");
+        println!(
+            "  {n:2}   {a:>13.5}      {:>13.5}    [{:.5}, {:.5}]",
+            s.p_late, s.ci.lo, s.ci.hi
+        );
+        analytic.push((f64::from(n), a));
+        simulated.push((f64::from(n), s.p_late));
+    }
+    println!(
+        "\n{}",
+        crate::plot::log_chart(
+            &[
+                crate::plot::Series {
+                    label: "analytic bound",
+                    marker: 'a',
+                    points: analytic
+                },
+                crate::plot::Series {
+                    label: "simulated",
+                    marker: 's',
+                    points: simulated
+                },
+            ],
+            64,
+            18,
+            5.0,
+        )
+    );
+    println!("  rounds per point: {rounds}");
+    println!("  expected shape: analytic >= simulated everywhere (conservative model),");
+    println!("  both curves rising steeply past N ~ 28.");
+}
+
+/// E2 — Table 2: analytic vs simulated `p_error` for N = 28…32.
+pub fn table2(budget: Budget) {
+    println!("E2 / Table 2: p_error (>= 12 glitches in M = 1200 rounds), t = 1 s\n");
+    let model = GuaranteeModel::paper_reference().expect("reference model");
+    let cfg = SimConfig::paper_reference().expect("reference sim");
+    let batches = budget.scale_batches(40);
+    println!(
+        "  N    analytic p_error    exact model    simulated p_error    samples    paper (analytic / sim)"
+    );
+    let paper: [(u32, &str, &str); 5] = [
+        (28, "0.00014", "0"),
+        (29, "0.318", "0"),
+        (30, "1", "0"),
+        (31, "1", "0.00678"),
+        (32, "1", "0.454"),
+    ];
+    for (n, pa, ps) in paper {
+        let a = model.p_error_bound(n, 1.0, 1200, 12).expect("valid t");
+        let e = model.p_error_exact(n, 1.0, 1200, 12).expect("valid t");
+        let s =
+            estimate_p_error(&cfg, n, 1200, 12, batches, 2_000 + u64::from(n)).expect("valid sim");
+        println!(
+            "  {n}   {a:>15.5}   {e:>11.5}     {:>15.5}     {:>6}     {pa} / {ps}",
+            s.p_error, s.stream_samples
+        );
+    }
+    println!("\n  windows per N: {batches} x 1200 rounds");
+}
+
+/// E3 — §3.1 worked example: single-zone disk, explicit transfer moments.
+pub fn ex31() {
+    println!("E3 / §3.1 example: conventional disk, E[T_trans] = 0.02174 s,");
+    println!("Var = 0.00011815 s^2, ROT = 8.34 ms, CYL = 6720, t = 1 s\n");
+    let curve = profiles::quantum_viking_2_1();
+    let seek_curve = mzd_disk::SeekCurve::paper_form(
+        curve.seek_sqrt_offset,
+        curve.seek_sqrt_coeff,
+        curve.seek_lin_offset,
+        curve.seek_lin_coeff,
+        curve.seek_threshold,
+    )
+    .expect("valid curve");
+    let transfer = TransferTimeModel::from_moments(0.02174, 0.00011815).expect("valid moments");
+    for (n, paper) in [(26u32, 0.00225), (27, 0.0103)] {
+        let seek = mzd_disk::oyang::seek_bound(&seek_curve, 6720, n);
+        let svc = RoundService::new(seek, 0.00834, transfer, n).expect("valid model");
+        let b = svc.p_late_bound(1.0);
+        println!(
+            "  N = {n}: SEEK = {seek:.5} s, p_late <= {:.5}   (paper: {paper})",
+            b.probability
+        );
+    }
+    println!("\n  paper: SEEK = 0.10932 s at N = 27");
+}
+
+/// E4 — §3.2 worked example: multi-zone disk, Table 1 parameters.
+pub fn ex32() {
+    println!("E4 / §3.2 example: Table 1 multi-zone disk, t = 1 s\n");
+    let model = GuaranteeModel::paper_reference().expect("reference model");
+    let tm = model.transfer_model();
+    println!(
+        "  moment-matched transfer Gamma: E = {:.5} s, Var = {:.3e} s^2, alpha = {:.1}, beta = {:.3}\n",
+        tm.mean(),
+        tm.variance(),
+        tm.alpha(),
+        tm.beta()
+    );
+    for (n, paper) in [(26u32, 0.00324), (27, 0.0133)] {
+        let p = model.p_late_bound(n, 1.0).expect("valid t");
+        println!("  N = {n}: p_late <= {p:.5}   (paper: {paper})");
+    }
+    println!(
+        "\n  N_max at delta = 1%: {}   (paper: 26)",
+        model.n_max_late(1.0, 0.01).expect("valid search")
+    );
+}
+
+/// E5 — §3.3 worked example + eq. 3.3.6 admission limit.
+pub fn ex33() {
+    println!("E5 / §3.3 example: per-stream glitch guarantee, M = 1200, g = 12\n");
+    let model = GuaranteeModel::paper_reference().expect("reference model");
+    let p28 = model.p_error_bound(28, 1.0, 1200, 12).expect("valid t");
+    println!("  N = 28: p_error <= {p28:.6}   (paper: <= 0.14e-3)");
+    let n_max = model
+        .n_max_error(1.0, 1200, 12, 0.01)
+        .expect("valid search");
+    println!("  N_max at epsilon = 1%: {n_max}   (paper: 28; simulation sustains 31)");
+    let pg = model.p_glitch_bound(28, 1.0).expect("valid t");
+    println!("  per-round glitch bound b_glitch(28, 1s) = {pg:.6}");
+}
+
+/// E6 — eq. 4.1: deterministic worst-case admission limits.
+pub fn worst_case() {
+    println!("E6 / eq. 4.1: deterministic worst-case admission\n");
+    let model = GuaranteeModel::paper_reference().expect("reference model");
+    let n1 = model
+        .n_max_worst_case(1.0, 0.99, WorstCaseRate::Innermost)
+        .expect("valid");
+    println!("  99-pct size over C_min/ROT:          N_max^wc = {n1}   (paper: 10)");
+    let n2 = model
+        .n_max_worst_case(1.0, 0.95, WorstCaseRate::MidRange)
+        .expect("valid");
+    println!("  95-pct size over (Cmin+Cmax)/2/ROT:  N_max^wc = {n2}   (paper: 14)");
+    let stoch = model.n_max_error(1.0, 1200, 12, 0.01).expect("valid");
+    println!(
+        "\n  stochastic guarantee admits {stoch} streams: {:.1}x the worst case",
+        f64::from(stoch) / f64::from(n1)
+    );
+}
+
+/// E7 — §3.2 Gamma-approximation accuracy for the transfer-time density.
+pub fn approx() {
+    println!("E7 / §3.2: Gamma approximation of the transfer-time density");
+    println!("(paper claim: < 2% relative error for t in [5 ms, 100 ms])\n");
+    let disk = profiles::quantum_viking_2_1().build().expect("valid disk");
+    let f = TransferTimeDensity::continuous(&disk, 200_000.0, 1e10).expect("valid density");
+    let a = f.gamma_approximation().expect("valid approximation");
+    println!("  t (ms)   exact f_trans   gamma f_apptrans   rel. error");
+    for i in 0..20 {
+        let t = 0.005 * f64::from(i + 1);
+        let e = f.pdf(t);
+        let g = a.pdf(t);
+        println!(
+            "  {:>5.0}    {e:>12.5}    {g:>14.5}    {:>+8.2}%",
+            t * 1000.0,
+            100.0 * (g - e) / e
+        );
+    }
+    let bulk = f.max_relative_error(0.010, 0.055, 64).expect("valid");
+    let full = f.max_relative_error(0.005, 0.100, 96).expect("valid");
+    let tv = f.total_variation_error(0.25).expect("valid");
+    println!(
+        "\n  max relative error, 10-55 ms (97% of mass):  {:.2}%",
+        bulk * 100.0
+    );
+    println!(
+        "  max relative error, 5-100 ms (paper's range): {:.2}%",
+        full * 100.0
+    );
+    println!(
+        "  total-variation distance:                     {:.3}%",
+        tv * 100.0
+    );
+    println!("\n  the paper's 2% figure holds on the bulk and in TV distance; the");
+    println!("  pointwise error in the deep right tail (density < 0.1% of peak) grows.");
+}
+
+/// E8 — §5 admission lookup tables.
+pub fn nmax_tables() {
+    println!("E8 / §5: precomputed admission lookup tables, Table 1 disk, t = 1 s\n");
+    let model = GuaranteeModel::paper_reference().expect("reference model");
+    let thresholds = [0.0001, 0.001, 0.005, 0.01, 0.02, 0.05, 0.10, 0.25];
+    println!("  per-round overrun target (eq. 3.1.7):");
+    let table = model
+        .admission_table_late(1.0, &thresholds)
+        .expect("valid thresholds");
+    println!("    delta      N_max");
+    for (d, n) in table.rows() {
+        println!("    {d:>7.4}    {n}");
+    }
+    println!("\n  per-stream glitch-rate target, M = 1200, g = 12 (eq. 3.3.6):");
+    let table = model
+        .admission_table_error(1.0, 1200, 12, &thresholds)
+        .expect("valid thresholds");
+    println!("    epsilon    N_max");
+    for (e, n) in table.rows() {
+        println!("    {e:>7.4}    {n}");
+    }
+}
+
+/// A1 — ablation: zone handling (multi-zone vs flattenings), analytic and
+/// simulated.
+pub fn ablate_zone(budget: Budget) {
+    println!("A1: zone-handling ablation, t = 1 s\n");
+    let profile = profiles::quantum_viking_2_1();
+    let multi = profile.build().expect("valid disk");
+    let rounds = budget.scale(20_000);
+
+    let exact =
+        GuaranteeModel::new(multi.clone(), 200_000.0, 1e10, ZoneHandling::Discrete).expect("valid");
+    let cont = GuaranteeModel::new(multi.clone(), 200_000.0, 1e10, ZoneHandling::Continuous)
+        .expect("valid");
+    let flat =
+        GuaranteeModel::new(multi.clone(), 200_000.0, 1e10, ZoneHandling::MeanRate).expect("valid");
+    let pess = GuaranteeModel::new(
+        profile.pessimistic_single_zone().build().expect("valid"),
+        200_000.0,
+        1e10,
+        ZoneHandling::Discrete,
+    )
+    .expect("valid");
+
+    let cfg = SimConfig::paper_reference().expect("valid sim");
+    println!("  N   discrete   continuous   mean-rate   innermost   simulated");
+    for n in [24u32, 26, 28, 30] {
+        let s = estimate_p_late(&cfg, n, rounds, 3_000 + u64::from(n)).expect("valid sim");
+        println!(
+            "  {n:2}  {:>9.5}  {:>10.5}  {:>10.5}  {:>10.5}  {:>9.5}",
+            exact.p_late_bound(n, 1.0).expect("valid"),
+            cont.p_late_bound(n, 1.0).expect("valid"),
+            flat.p_late_bound(n, 1.0).expect("valid"),
+            pess.p_late_bound(n, 1.0).expect("valid"),
+            s.p_late
+        );
+    }
+    println!("\n  N_max at 1%:");
+    for (name, m) in [
+        ("discrete  ", &exact),
+        ("continuous", &cont),
+        ("mean-rate ", &flat),
+        ("innermost ", &pess),
+    ] {
+        println!("    {name}  {}", m.n_max_late(1.0, 0.01).expect("valid"));
+    }
+}
+
+/// A2 — ablation: SCAN vs independent (FCFS) seeks, simulated.
+pub fn ablate_scan(budget: Budget) {
+    println!("A2: SCAN vs independent-seek (FCFS) scheduling, simulated, t = 1 s\n");
+    let rounds = budget.scale(10_000);
+    let mut scan_cfg = SimConfig::paper_reference().expect("valid sim");
+    scan_cfg.seek_policy = SeekPolicy::Scan;
+    let mut fcfs_cfg = scan_cfg.clone();
+    fcfs_cfg.seek_policy = SeekPolicy::Fcfs;
+    println!("  N    SCAN p_late   FCFS p_late   SCAN mean svc   FCFS mean svc");
+    for n in [16u32, 20, 24, 26, 28] {
+        let s = estimate_p_late(&scan_cfg, n, rounds, 4_000 + u64::from(n)).expect("valid");
+        let f = estimate_p_late(&fcfs_cfg, n, rounds, 4_000 + u64::from(n)).expect("valid");
+        println!(
+            "  {n:2}   {:>10.5}   {:>10.5}   {:>10.4} s   {:>10.4} s",
+            s.p_late, f.p_late, s.mean_service_time, f.mean_service_time
+        );
+    }
+    println!("\n  expected: FCFS saturates at a much lower N — the reason the paper");
+    println!("  models SCAN (via Oyang's bound) instead of independent seeks.");
+}
+
+/// A3 — ablation: fragment-size distribution family at matched moments.
+pub fn ablate_dist(budget: Budget) {
+    println!("A3: size-distribution ablation at matched moments (200 KB, sd 100 KB)\n");
+    let rounds = budget.scale(20_000);
+    let model = GuaranteeModel::paper_reference().expect("valid model");
+    let dists = [
+        ("gamma    ", SizeDistribution::paper_default()),
+        (
+            "lognormal",
+            SizeDistribution::log_normal(200_000.0, 1e10).expect("valid"),
+        ),
+        (
+            "pareto   ",
+            SizeDistribution::pareto(200_000.0, 1e10).expect("valid"),
+        ),
+        (
+            "constant ",
+            SizeDistribution::constant(200_000.0).expect("valid"),
+        ),
+    ];
+    println!("  (analytic bound assumes Gamma; simulation swaps the true law)\n");
+    println!("  N   analytic(gamma)   sim gamma   sim lognormal   sim pareto   sim constant");
+    for n in [26u32, 28, 30] {
+        let a = model.p_late_bound(n, 1.0).expect("valid");
+        let mut row = format!("  {n:2}   {a:>14.5}");
+        for (_, d) in &dists {
+            let mut cfg = SimConfig::paper_reference().expect("valid");
+            cfg.sizes = d.clone();
+            let s = estimate_p_late(&cfg, n, rounds, 5_000 + u64::from(n)).expect("valid");
+            row.push_str(&format!("   {:>9.5}", s.p_late));
+        }
+        println!("{row}");
+    }
+    println!("\n  expected: constant sizes glitch least (no size variance); the heavy");
+    println!("  tails (lognormal/pareto) glitch slightly more than gamma at equal moments.");
+}
+
+/// B3 — saddlepoint vs Chernoff vs simulation: where the conservatism
+/// of the paper's admission limit comes from.
+pub fn saddlepoint(budget: Budget) {
+    println!("B3: the cost of rigor — Chernoff bound vs saddlepoint estimate vs sim\n");
+    let model = GuaranteeModel::paper_reference().expect("valid model");
+    let cfg = SimConfig::paper_reference().expect("valid sim");
+    let rounds = budget.scale(20_000);
+    println!("  N    chernoff bound   saddlepoint est.   exact (model)   simulated   (sim 95% CI)");
+    for n in [25u32, 26, 27, 28, 29, 30, 31] {
+        let ch = model.p_late_bound(n, 1.0).expect("valid");
+        let sp = model.p_late_estimate(n, 1.0).expect("valid");
+        let ex = model.p_late_exact(n, 1.0).expect("valid");
+        let s = estimate_p_late(&cfg, n, rounds, 10_000 + u64::from(n)).expect("valid");
+        println!(
+            "  {n:2}   {ch:>12.5}   {sp:>14.5}   {ex:>12.5}   {:>9.5}   [{:.5}, {:.5}]",
+            s.p_late, s.ci.lo, s.ci.hi
+        );
+    }
+    let n_ch = model.n_max_late(1.0, 0.01).expect("valid");
+    let n_sp = mzd_core::admission::n_max(|n| model.p_late_estimate(n, 1.0).expect("valid"), 0.01);
+    let n_ex = mzd_core::admission::n_max(|n| model.p_late_exact(n, 1.0).expect("valid"), 0.01);
+    println!(
+        "\n  N_max at 1%: chernoff {n_ch} (guarantee), saddlepoint {n_sp}, exact model {n_ex}"
+    );
+    println!("  reading: the exact tail (Gil-Pelaez inversion of the model's");
+    println!("  characteristic function) confirms the saddlepoint to ~10%; both say the");
+    println!("  modeled system takes 28 streams at 1% — the simulated capacity. The");
+    println!("  Chernoff prefactor costs 2 streams; the worst-case SEEK costs the");
+    println!("  remaining sliver between the exact model and the simulation.");
+}
+
+/// B1 — baseline comparison: Chernoff+SCAN (the paper) vs the related
+/// work's CLT/Chebyshev tails with independent seeks, vs simulation.
+pub fn baselines(budget: Budget) {
+    use mzd_core::baselines::{BaselineTail, SeekMoments, TailMethod};
+    println!("B1: tail-method & seek-model baselines ([CZ94]/[CL96]) vs the paper\n");
+    let model = GuaranteeModel::paper_reference().expect("valid model");
+    let disk = model.disk().clone();
+    let ind_seek = SeekMoments::independent_uniform(disk.seek_curve(), disk.cylinders())
+        .expect("valid moments");
+    println!(
+        "  independent-seek moments: mean {:.2} ms, sd {:.2} ms (SCAN amortized at N=27: {:.2} ms)\n",
+        ind_seek.mean * 1e3,
+        ind_seek.variance.sqrt() * 1e3,
+        model.seek_constant(27) / 27.0 * 1e3
+    );
+    let cfg = SimConfig::paper_reference().expect("valid sim");
+    let rounds = budget.scale(20_000);
+    println!("  N   chernoff+scan   clt+scan   clt+ind.seeks   cheb+ind.seeks   simulated(scan)");
+    for n in [22u32, 24, 26, 28, 30] {
+        let chern = model.p_late_bound(n, 1.0).expect("valid");
+        let scan_seek = SeekMoments::scan_amortized(model.seek_constant(n), n);
+        let clt_scan = BaselineTail::new(
+            scan_seek,
+            0.00834,
+            model.transfer_model(),
+            n,
+            TailMethod::Normal,
+        )
+        .expect("valid")
+        .p_late(1.0);
+        let clt_ind = BaselineTail::new(
+            ind_seek,
+            0.00834,
+            model.transfer_model(),
+            n,
+            TailMethod::Normal,
+        )
+        .expect("valid")
+        .p_late(1.0);
+        let cheb_ind = BaselineTail::new(
+            ind_seek,
+            0.00834,
+            model.transfer_model(),
+            n,
+            TailMethod::Chebyshev,
+        )
+        .expect("valid")
+        .p_late(1.0);
+        let s = estimate_p_late(&cfg, n, rounds, 6_000 + u64::from(n)).expect("valid");
+        println!(
+            "  {n:2}   {chern:>11.5}   {clt_scan:>9.5}   {clt_ind:>12.5}   {cheb_ind:>12.5}   {:>11.5}",
+            s.p_late
+        );
+    }
+    println!("\n  reading: CLT+SCAN *undershoots* the simulation at small tail levels");
+    println!("  (not a bound!), the independent-seek variants waste most of the disk,");
+    println!("  and Chebyshev is orders of magnitude looser than Chernoff.");
+}
+
+/// B2 — mixed continuous/discrete workload (§6 outlook): analytic
+/// discrete capacity vs simulated throughput and response times.
+pub fn mixed(budget: Budget) {
+    use mzd_core::mixed::discrete_capacity;
+    use mzd_core::transfer::TransferTimeModel;
+    use mzd_sim::{MixedConfig, MixedSimulator};
+    println!("B2: mixed workload — discrete requests in the streams' slack (§6)\n");
+    let model = GuaranteeModel::paper_reference().expect("valid model");
+    let disk = model.disk().clone();
+    let discrete_tm = TransferTimeModel::multi_zone(
+        &disk,
+        20_000.0,
+        (20_000.0f64).powi(2),
+        ZoneHandling::Discrete,
+    )
+    .expect("valid");
+    let curve = disk.seek_curve().clone();
+    let cyl = disk.cylinders();
+    let rounds = budget.scale(3_000);
+    println!("  discrete objects: 20 KB +- 20 KB; continuous: paper reference\n");
+    println!("  N    analytic K_max(1%)   sim served/round   mean resp (rounds)   cont. p_late");
+    for n in [12u32, 18, 22, 24, 26] {
+        let k_max = discrete_capacity(
+            *model.transfer_model(),
+            discrete_tm,
+            n,
+            1.0,
+            0.01,
+            0.00834,
+            |total| mzd_disk::oyang::seek_bound(&curve, cyl, total),
+        )
+        .expect("valid");
+        // Offer arrivals at ~the analytic capacity to see the sim confirm it.
+        let rate = f64::from(k_max.max(1)) as f64;
+        let mcfg = MixedConfig::paper_reference(rate).expect("valid");
+        let mut sim = MixedSimulator::new(mcfg, 7_000 + u64::from(n)).expect("valid");
+        let stats = sim.run(n, rounds);
+        println!(
+            "  {n:2}   {k_max:>12}        {:>10.2}        {:>10.2}          {:>9.5}",
+            stats.discrete_throughput(),
+            stats.discrete_response_rounds.mean(),
+            stats.p_late()
+        );
+    }
+    println!("\n  reading: continuous p_late stays at its paper level because streams");
+    println!("  keep strict priority. The analytic K_max assumes discrete requests");
+    println!("  join the SCAN sweep; the simulated discipline serves them FCFS in the");
+    println!("  slack, so at light continuous load (large K) the simulation serves");
+    println!("  fewer per round than K_max — the gap is the price of not sorting");
+    println!("  discrete requests into the sweep. At moderate N the two agree.");
+}
+
+/// A4 — placement ablation: uniform vs zone-restricted placements.
+pub fn ablate_placement(budget: Budget) {
+    use mzd_core::transfer::TransferTimeModel;
+    use mzd_core::RoundService;
+    use mzd_disk::PlacementPolicy;
+    println!("A4: placement ablation — where the data lives changes the guarantee\n");
+    let disk = profiles::quantum_viking_2_1().build().expect("valid disk");
+    let rounds = budget.scale(20_000);
+    let policies = [
+        ("uniform-by-capacity", PlacementPolicy::UniformByCapacity),
+        ("uniform-by-cylinder", PlacementPolicy::UniformByCylinder),
+        (
+            "outer 5 zones      ",
+            PlacementPolicy::OuterZones { zones: 5 },
+        ),
+        (
+            "inner 5 zones      ",
+            PlacementPolicy::InnerZones { zones: 5 },
+        ),
+    ];
+    println!(
+        "  policy                 capacity   analytic p_late(26)   sim p_late(26)   N_max(1%)"
+    );
+    for (name, policy) in policies {
+        let tm =
+            TransferTimeModel::with_placement(&disk, policy, 200_000.0, 1e10).expect("valid model");
+        let span = policy.cylinder_span(&disk).expect("valid");
+        let p_late = |n: u32| {
+            let seek = mzd_disk::oyang::seek_bound(disk.seek_curve(), span, n);
+            RoundService::new(seek, disk.rotation_time(), tm, n)
+                .expect("valid")
+                .p_late_bound(1.0)
+                .probability
+        };
+        let analytic = p_late(26);
+        let n_max = mzd_core::admission::n_max(p_late, 0.01);
+        let mut cfg = SimConfig::paper_reference().expect("valid");
+        cfg.placement = policy;
+        let s = estimate_p_late(&cfg, 26, rounds, 8_000).expect("valid");
+        let cap = policy.capacity_fraction(&disk).expect("valid");
+        println!(
+            "  {name}   {:>6.1}%   {analytic:>15.5}   {:>12.5}   {n_max:>6}",
+            cap * 100.0,
+            s.p_late
+        );
+    }
+    println!("\n  reading: outer-zone placement buys streams at the cost of capacity;");
+    println!("  inner-zone placement is what you must assume if data can live anywhere");
+    println!("  — which is why the paper's capacity-weighted mixture is the right");
+    println!("  default for full-capacity servers.");
+}
+
+/// A5 — temporal-correlation ablation: i.i.d. fragments (the §3.3
+/// assumption) vs scene-correlated GOP traces at matched marginals.
+pub fn ablate_correlation(budget: Budget) {
+    use mzd_sim::SimulationEngine;
+    use mzd_workload::gop::GopModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    println!("A5: temporal correlation — does the §3.3 independence idealization hold?\n");
+    let rounds = budget.scale(24_000);
+    let n = 30u32;
+    let g_per_window = 12u64;
+    let window = 1200u64;
+
+    // Correlated traces: MPEG GOP with strong, long scene modulation
+    // (fragments aggregate 25 frames, so the scene factor — not the
+    // frame-level noise — is what survives at round granularity), tuned
+    // so the marginal sd lands near the paper's 100 KB. The control is
+    // the SAME traces with each stream's fragments shuffled: identical
+    // marginals by construction, temporal order destroyed.
+    let correlated_traces: Vec<mzd_workload::Trace> = {
+        let model = GopModel::mpeg2_default()
+            .with_scene(0.65, 0.55, 300.0)
+            .expect("valid")
+            .with_bandwidth(4e6 * 200_000.0 / 500_000.0)
+            .expect("valid");
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..n)
+            .map(|_| {
+                model
+                    .generate_trace(rounds as f64, 1.0, &mut rng)
+                    .expect("valid")
+            })
+            .collect()
+    };
+    let shuffled_traces: Vec<mzd_workload::Trace> = {
+        use rand::seq::SliceRandom as _;
+        let mut rng = StdRng::seed_from_u64(12);
+        correlated_traces
+            .iter()
+            .map(|t| {
+                let mut sizes = t.sizes().to_vec();
+                sizes.shuffle(&mut rng);
+                mzd_workload::Trace::new(sizes, t.display_time()).expect("valid")
+            })
+            .collect()
+    };
+
+    println!("  variant        mean frag   sd frag   lag-1 corr    p_late   P[>= {g_per_window} glitches in {window}]");
+    for (name, traces) in [
+        ("shuffled  ", &shuffled_traces),
+        ("correlated", &correlated_traces),
+    ] {
+        let traces = traces.as_slice();
+        let lag1: f64 = traces
+            .iter()
+            .map(mzd_workload::Trace::lag1_autocorrelation)
+            .sum::<f64>()
+            / f64::from(n);
+        let mean: f64 = traces.iter().map(mzd_workload::Trace::mean).sum::<f64>() / f64::from(n);
+        let sd: f64 = (traces
+            .iter()
+            .map(mzd_workload::Trace::variance)
+            .sum::<f64>()
+            / f64::from(n))
+        .sqrt();
+        // Split the run into 1200-round windows: each window yields n
+        // per-stream glitch-count samples for the p_error estimate.
+        let windows = (rounds / window).max(1);
+        let mut engine = SimulationEngine::new(SimConfig::paper_reference().expect("valid"), 9_000)
+            .expect("valid");
+        let mut failures = 0u64;
+        let mut late_rounds = 0u64;
+        for _ in 0..windows {
+            let acc = engine.run_window_traced(traces, window);
+            late_rounds += acc.late_rounds;
+            failures += acc
+                .glitches_per_stream
+                .iter()
+                .filter(|&&c| c >= g_per_window)
+                .count() as u64;
+        }
+        let samples = windows * u64::from(n);
+        println!(
+            "  {name}   {:>8.0}   {:>8.0}   {:>8.3}   {:>7.5}   {:>7.5}",
+            mean,
+            sd,
+            lag1,
+            late_rounds as f64 / (windows * window) as f64,
+            failures as f64 / samples as f64
+        );
+    }
+    println!("\n  reading: scene correlation fattens the per-stream glitch-count tail");
+    println!("  (glitches cluster in hot scenes), so the binomial model of eq. 3.3.4");
+    println!("  is optimistic under strong correlation — quantifying the caveat the");
+    println!("  paper handles by randomizing placement across disks.");
+}
+
+/// B4 — work-ahead buffering (§6 outlook): how much client buffer does
+/// it take to absorb the overrun tail?
+pub fn buffering(budget: Budget) {
+    use mzd_sim::{WorkAheadConfig, WorkAheadSimulator};
+    println!("B4: work-ahead prefetching — buying glitch immunity with client buffer\n");
+    let rounds = budget.scale(12_000);
+    println!("  N = 29 and 31 streams, paper workload, 1 s rounds, {rounds} rounds per cell\n");
+    println!("  work-ahead   N=29 glitch rate   N=31 glitch rate   mean buffer (MB, N=29)");
+    for wa in [0u32, 1, 2, 4, 8] {
+        let mut row = format!("  {wa:>10}");
+        let mut buffer_mb = 0.0;
+        for n in [29u32, 31] {
+            let cfg = WorkAheadConfig {
+                base: SimConfig::paper_reference().expect("valid"),
+                work_ahead: wa,
+            };
+            let mut sim = WorkAheadSimulator::new(cfg, 11_000 + u64::from(n)).expect("valid");
+            let stats = sim.run(n, rounds);
+            row.push_str(&format!("   {:>15.6}", stats.glitch_rate()));
+            if n == 29 {
+                buffer_mb = stats.buffer_bytes.mean() / 1e6;
+            }
+        }
+        row.push_str(&format!("   {buffer_mb:>12.2}"));
+        println!("{row}");
+    }
+    println!("\n  reading: a couple of prefetched fragments (a few hundred KB of client");
+    println!("  buffer) absorb nearly all overruns at loads where the memoryless model");
+    println!("  glitches steadily — the quantitative case for the paper's §6 buffering");
+    println!("  direction. Note the diminishing returns: overruns cluster, so immunity");
+    println!("  saturates once the buffer outlasts a typical overrun burst.");
+}
+
+/// Run everything in DESIGN.md order.
+pub fn all(budget: Budget) {
+    let line = "=".repeat(72);
+    for (i, f) in [
+        fig1 as fn(Budget),
+        table2,
+        |_| ex31(),
+        |_| ex32(),
+        |_| ex33(),
+        |_| worst_case(),
+        |_| approx(),
+        |_| nmax_tables(),
+        ablate_zone,
+        ablate_scan,
+        ablate_dist,
+        ablate_placement,
+        ablate_correlation,
+        baselines,
+        mixed,
+        saddlepoint,
+        buffering,
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            println!("\n{line}\n");
+        }
+        f(budget);
+    }
+}

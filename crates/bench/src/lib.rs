@@ -1,0 +1,47 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation, plus the ablations described in DESIGN.md.
+//!
+//! Each submodule of [`experiments`] produces one artifact and prints it
+//! as an aligned text table with a `paper:` annotation where the paper
+//! reports a number. The `experiments` binary dispatches on experiment id:
+//!
+//! ```text
+//! cargo run --release -p mzd-bench --bin experiments -- fig1
+//! cargo run --release -p mzd-bench --bin experiments -- all --quick
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+
+/// Simulation budget selector: `quick` divides round/batch budgets by ~10
+/// so the full suite runs in well under a minute (CI); the default budget
+/// resolves tail probabilities down to ~1e-4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Reduced budgets for smoke runs.
+    pub quick: bool,
+}
+
+impl Budget {
+    /// Scale a round count down when quick mode is on.
+    #[must_use]
+    pub fn scale(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 10).max(100)
+        } else {
+            full
+        }
+    }
+
+    /// Scale a batch count (kept ≥ 4 so confidence intervals still exist).
+    #[must_use]
+    pub fn scale_batches(&self, full: u32) -> u32 {
+        if self.quick {
+            (full / 10).max(4)
+        } else {
+            full
+        }
+    }
+}

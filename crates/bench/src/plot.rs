@@ -1,0 +1,173 @@
+//! Minimal ASCII chart rendering for experiment output.
+//!
+//! The paper's Figure 1 is a log-scale plot of analytic vs simulated
+//! `p_late` over `N`; [`log_chart`] renders the same picture in a
+//! terminal so the regenerated figure is *visible*, not just tabulated.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: &'static str,
+    /// Marker character.
+    pub marker: char,
+    /// The points (y must be positive to appear on a log chart).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render series on a log10-y chart of the given size. X is binned
+/// linearly over the union of the series' x-ranges; y decades are chosen
+/// from the data, clamped to at most `max_decades` below the top.
+#[must_use]
+pub fn log_chart(series: &[Series], width: usize, height: usize, max_decades: f64) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            xs.push(x);
+            if y > 0.0 {
+                ys.push(y);
+            }
+        }
+    }
+    if xs.is_empty() || ys.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let y_top = ys
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .log10()
+        .ceil();
+    let y_bot_data = ys
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .log10()
+        .floor();
+    let y_bot = y_bot_data.max(y_top - max_decades);
+
+    let mut grid = vec![vec![' '; width]; height];
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_top - y_bot).max(1e-12);
+    for s in series {
+        for &(x, y) in &s.points {
+            if y <= 0.0 {
+                continue;
+            }
+            let ly = y.log10();
+            if ly < y_bot {
+                continue;
+            }
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y_top - ly) / y_span) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
+            // Overlapping markers become '#'.
+            *cell = if *cell == ' ' { s.marker } else { '#' };
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let decade = y_top - y_span * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || (height > 8 && r == height / 2) {
+            format!("1e{decade:>4.1}")
+        } else {
+            String::from("      ")
+        };
+        out.push_str(&format!("{label:>7} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>7} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>9}{:<width$}\n",
+        "",
+        format!(
+            "{x_min:.0}{}{x_max:.0}",
+            " ".repeat(width.saturating_sub(8))
+        ),
+        width = width
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} {}", s.marker, s.label))
+        .collect();
+    out.push_str(&format!("{:>9}{}\n", "", legend.join("    ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "analytic",
+                marker: 'a',
+                points: (14..=34)
+                    .map(|n| (f64::from(n), (f64::from(n) - 34.0).exp()))
+                    .collect(),
+            },
+            Series {
+                label: "simulated",
+                marker: 's',
+                points: (14..=34)
+                    .map(|n| (f64::from(n), 0.2 * (f64::from(n) - 34.0).exp()))
+                    .collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let chart = log_chart(&demo_series(), 60, 16, 6.0);
+        assert!(chart.contains('a'));
+        assert!(chart.contains('s'));
+        assert!(chart.contains("analytic"));
+        assert!(chart.contains("simulated"));
+        // Axis frame present.
+        assert!(chart.contains('|'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("1e"));
+    }
+
+    #[test]
+    fn overlap_renders_hash() {
+        let s = vec![
+            Series {
+                label: "a",
+                marker: 'x',
+                points: vec![(1.0, 0.5), (2.0, 0.5)],
+            },
+            Series {
+                label: "b",
+                marker: 'o',
+                points: vec![(1.0, 0.5)],
+            },
+        ];
+        let chart = log_chart(&s, 20, 8, 4.0);
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn zero_and_negative_y_are_skipped() {
+        let s = vec![Series {
+            label: "zeros",
+            marker: 'z',
+            points: vec![(1.0, 0.0), (2.0, -1.0)],
+        }];
+        assert_eq!(log_chart(&s, 20, 8, 4.0), "(no data)\n");
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let chart = log_chart(&demo_series(), 1, 1, 2.0);
+        assert!(chart.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,256 @@
+//! Command-line parsing for `mzd` — a small, dependency-free parser.
+//!
+//! ```text
+//! mzd <command> [--flag value]...
+//!
+//! commands:
+//!   nmax       admission limit for a quality target
+//!   plate      round-overrun probability (bound + saddlepoint estimate)
+//!   table      precomputed admission lookup table (§5)
+//!   simulate   estimate p_late by simulation
+//!   plan       provisioning: disks for a stream population
+//!   worstcase  deterministic worst-case limits (eq. 4.1)
+//!   disks      list built-in drive profiles
+//! ```
+//!
+//! Common flags: `--disk <profile>` (default `viking`), `--mean <bytes>`,
+//! `--sd <bytes>` (default 200000/100000), `--round <seconds>` (default 1).
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// A parsed command line: command word plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    /// The command word.
+    pub command: Command,
+    flags: BTreeMap<String, String>,
+}
+
+/// The `mzd` sub-commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Admission limit for a quality target.
+    Nmax,
+    /// Round-overrun probability for a given N.
+    PLate,
+    /// Precomputed admission lookup table.
+    Table,
+    /// Simulation-based p_late estimate.
+    Simulate,
+    /// Disks-for-population provisioning.
+    Plan,
+    /// Deterministic worst-case limits.
+    WorstCase,
+    /// List drive profiles.
+    Disks,
+    /// Analyze a fragment-size trace file.
+    AnalyzeTrace,
+    /// Print usage.
+    Help,
+}
+
+/// Usage text shown for `mzd help` and on parse errors.
+pub const USAGE: &str = "\
+usage: mzd <command> [--flag value]...
+
+commands:
+  nmax       admission limit (flags: --delta P | --m R --g G --epsilon P)
+  plate      overrun probability for one N (flags: --n N)
+  table      admission lookup table (flags: --thresholds p1,p2,...)
+  simulate   simulated p_late (flags: --n N --rounds R --seed S)
+  plan       disks for a population (flags: --population N --m R --g G --epsilon P)
+  worstcase  deterministic worst-case limits (eq. 4.1)
+  disks      list built-in drive profiles
+  analyze-trace  fit a trace file and derive its admission limit
+                 (flags: --file PATH [--delta P])
+  help       this text
+
+common flags:
+  --disk viking|single75|legacy|nextgen|synthetic2to1   (default viking)
+  --mean BYTES   fragment-size mean        (default 200000)
+  --sd BYTES     fragment-size std. dev.   (default 100000)
+  --round SECS   round length              (default 1.0)";
+
+/// Parse an argument vector (without the program name).
+///
+/// # Errors
+/// [`CliError::Usage`] for unknown commands, dangling flags or non-flag
+/// positional arguments.
+pub fn parse(args: &[String]) -> Result<Parsed, CliError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("nmax") => Command::Nmax,
+        Some("plate") => Command::PLate,
+        Some("table") => Command::Table,
+        Some("simulate") => Command::Simulate,
+        Some("plan") => Command::Plan,
+        Some("worstcase") => Command::WorstCase,
+        Some("disks") => Command::Disks,
+        Some("analyze-trace") => Command::AnalyzeTrace,
+        Some("help") | None => Command::Help,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown command `{other}`\n\n{USAGE}"
+            )))
+        }
+    };
+    let mut flags = BTreeMap::new();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(CliError::Usage(format!(
+                "expected a --flag, got `{key}`\n\n{USAGE}"
+            )));
+        };
+        let Some(value) = it.next() else {
+            return Err(CliError::Usage(format!(
+                "flag --{name} is missing its value\n\n{USAGE}"
+            )));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(Parsed { command, flags })
+}
+
+impl Parsed {
+    /// String flag with a default.
+    #[must_use]
+    pub fn str_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map_or(default, String::as_str)
+    }
+
+    /// `f64` flag with a default.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when present but unparseable.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// `u64` flag with a default.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when present but unparseable.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// Required `u64` flag.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when absent or unparseable.
+    pub fn u64_required(&self, name: &str) -> Result<u64, CliError> {
+        match self.flags.get(name) {
+            None => Err(CliError::Usage(format!("missing required flag --{name}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// Comma-separated `f64` list flag with a default.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when present but unparseable.
+    pub fn f64_list_or(&self, name: &str, default: &[f64]) -> Result<Vec<f64>, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|x| {
+                    x.trim().parse::<f64>().map_err(|_| {
+                        CliError::Usage(format!(
+                            "--{name} expects comma-separated numbers, got `{x}`"
+                        ))
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a flag was provided at all.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_commands_and_flags() {
+        let p = parse(&v(&["nmax", "--delta", "0.01", "--disk", "viking"])).unwrap();
+        assert_eq!(p.command, Command::Nmax);
+        assert_eq!(p.str_or("disk", "x"), "viking");
+        assert_eq!(p.f64_or("delta", 0.5).unwrap(), 0.01);
+        assert_eq!(p.f64_or("absent", 0.5).unwrap(), 0.5);
+        assert!(p.has("delta"));
+        assert!(!p.has("epsilon"));
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn analyze_trace_command_parses() {
+        let p = parse(&v(&["analyze-trace", "--file", "/tmp/x.trace"])).unwrap();
+        assert_eq!(p.command, Command::AnalyzeTrace);
+        assert_eq!(p.str_or("file", ""), "/tmp/x.trace");
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let e = parse(&v(&["frobnicate"])).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+        assert!(e.to_string().contains("frobnicate"));
+        assert!(e.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn dangling_flag_and_positional_rejected() {
+        assert!(parse(&v(&["nmax", "--delta"])).is_err());
+        assert!(parse(&v(&["nmax", "stray"])).is_err());
+    }
+
+    #[test]
+    fn numeric_flag_validation() {
+        let p = parse(&v(&["plate", "--n", "abc"])).unwrap();
+        assert!(p.u64_or("n", 1).is_err());
+        assert!(p.u64_required("n").is_err());
+        let p = parse(&v(&["plate"])).unwrap();
+        assert!(p.u64_required("n").is_err());
+        assert_eq!(p.u64_or("n", 27).unwrap(), 27);
+    }
+
+    #[test]
+    fn list_flags() {
+        let p = parse(&v(&["table", "--thresholds", "0.001, 0.01,0.1"])).unwrap();
+        assert_eq!(
+            p.f64_list_or("thresholds", &[]).unwrap(),
+            vec![0.001, 0.01, 0.1]
+        );
+        let p = parse(&v(&["table"])).unwrap();
+        assert_eq!(p.f64_list_or("thresholds", &[0.5]).unwrap(), vec![0.5]);
+        let p = parse(&v(&["table", "--thresholds", "a,b"])).unwrap();
+        assert!(p.f64_list_or("thresholds", &[]).is_err());
+    }
+}

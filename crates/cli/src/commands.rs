@@ -1,0 +1,375 @@
+//! Command execution: each function renders its result as plain text
+//! (returned, not printed, so it is unit-testable).
+
+use crate::args::{Command, Parsed, USAGE};
+use crate::CliError;
+use mzd_core::{GuaranteeModel, WorstCaseRate, ZoneHandling};
+use mzd_disk::{profiles, Disk, DiskProfile};
+use mzd_sim::{estimate_p_late, SimConfig};
+use mzd_workload::SizeDistribution;
+use std::fmt::Write as _;
+
+/// Execute a parsed command line, returning the text to print.
+///
+/// # Errors
+/// [`CliError`] for usage problems or model failures.
+pub fn run(parsed: &Parsed) -> Result<String, CliError> {
+    match parsed.command {
+        Command::Help => Ok(format!("{USAGE}\n")),
+        Command::Disks => Ok(list_disks()),
+        Command::AnalyzeTrace => analyze_trace(parsed),
+        Command::Nmax => nmax(parsed),
+        Command::PLate => p_late(parsed),
+        Command::Table => table(parsed),
+        Command::Simulate => simulate(parsed),
+        Command::Plan => plan(parsed),
+        Command::WorstCase => worst_case(parsed),
+    }
+}
+
+fn profile_by_name(name: &str) -> Result<DiskProfile, CliError> {
+    match name {
+        "viking" => Ok(profiles::quantum_viking_2_1()),
+        "single75" => Ok(profiles::single_zone_75kb()),
+        "legacy" => Ok(profiles::legacy_single_zone()),
+        "nextgen" => Ok(profiles::next_generation()),
+        "synthetic2to1" => Ok(profiles::synthetic_two_to_one()),
+        other => Err(CliError::Usage(format!(
+            "unknown disk profile `{other}` (try `mzd disks`)"
+        ))),
+    }
+}
+
+fn disk_of(parsed: &Parsed) -> Result<Disk, CliError> {
+    Ok(profile_by_name(parsed.str_or("disk", "viking"))?.build()?)
+}
+
+fn model_of(parsed: &Parsed) -> Result<GuaranteeModel, CliError> {
+    let mean = parsed.f64_or("mean", 200_000.0)?;
+    let sd = parsed.f64_or("sd", 100_000.0)?;
+    Ok(GuaranteeModel::new(
+        disk_of(parsed)?,
+        mean,
+        sd * sd,
+        ZoneHandling::Discrete,
+    )?)
+}
+
+fn list_disks() -> String {
+    let mut out = String::from("built-in drive profiles:\n");
+    for (key, p) in [
+        ("viking", profiles::quantum_viking_2_1()),
+        ("single75", profiles::single_zone_75kb()),
+        ("legacy", profiles::legacy_single_zone()),
+        ("nextgen", profiles::next_generation()),
+        ("synthetic2to1", profiles::synthetic_two_to_one()),
+    ] {
+        let d = p.build().expect("built-in profiles are valid");
+        let _ = writeln!(
+            out,
+            "  {key:<14} {:<36} {:>5} cyl, {:>2} zones, {:.2}-{:.2} MB/s",
+            p.name,
+            d.cylinders(),
+            d.zone_count(),
+            d.min_rate() / 1e6,
+            d.max_rate() / 1e6,
+        );
+    }
+    out
+}
+
+fn analyze_trace(parsed: &Parsed) -> Result<String, CliError> {
+    let path = parsed.str_or("file", "");
+    if path.is_empty() {
+        return Err(CliError::Usage("analyze-trace needs --file PATH".into()));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Execution(format!("cannot read {path}: {e}")))?;
+    let trace =
+        mzd_workload::Trace::parse(&text).map_err(|e| CliError::Execution(e.to_string()))?;
+    let delta = parsed.f64_or("delta", 0.01)?;
+    let disk = disk_of(parsed)?;
+    let model = GuaranteeModel::new(
+        disk,
+        trace.mean(),
+        trace.variance().max(1.0),
+        ZoneHandling::Discrete,
+    )?;
+    let t = trace.display_time();
+    let n_max = model.n_max_late(t, delta)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {path}: {} fragments, {:.1} s of media",
+        trace.len(),
+        trace.duration()
+    );
+    let _ = writeln!(
+        out,
+        "  fragment size: mean {:.0} B, sd {:.0} B, peak {:.0} B, p99 {:.0} B",
+        trace.mean(),
+        trace.variance().sqrt(),
+        trace.peak(),
+        trace.quantile(0.99)
+    );
+    let _ = writeln!(
+        out,
+        "  mean bandwidth: {:.2} Mbit/s; lag-1 autocorrelation: {:.3}",
+        trace.mean_bandwidth_bits() / 1e6,
+        trace.lag1_autocorrelation()
+    );
+    if trace.lag1_autocorrelation() > 0.5 {
+        let _ = writeln!(
+            out,
+            "  warning: strong temporal correlation — the per-stream binomial\n               guarantee (eq. 3.3.4) is optimistic for this trace; see the\n               ablate-corr experiment"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  admission: N_max = {n_max} streams/disk at p_late <= {delta}          (round = display time = {t} s)"
+    );
+    Ok(out)
+}
+
+fn nmax(parsed: &Parsed) -> Result<String, CliError> {
+    let model = model_of(parsed)?;
+    let t = parsed.f64_or("round", 1.0)?;
+    let mut out = String::new();
+    if parsed.has("m") || parsed.has("g") || parsed.has("epsilon") {
+        let m = parsed.u64_or("m", 1200)?;
+        let g = parsed.u64_or("g", 12)?;
+        let eps = parsed.f64_or("epsilon", 0.01)?;
+        let n = model.n_max_error(t, m, g, eps)?;
+        let _ = writeln!(
+            out,
+            "N_max = {n} streams/disk  (target: <= {g} glitches in {m} rounds \
+             with probability >= {:.2}%)",
+            100.0 * (1.0 - eps)
+        );
+    } else {
+        let delta = parsed.f64_or("delta", 0.01)?;
+        let n = model.n_max_late(t, delta)?;
+        let _ = writeln!(
+            out,
+            "N_max = {n} streams/disk  (target: p_late <= {delta} per round)"
+        );
+    }
+    Ok(out)
+}
+
+fn p_late(parsed: &Parsed) -> Result<String, CliError> {
+    let model = model_of(parsed)?;
+    let t = parsed.f64_or("round", 1.0)?;
+    let n = u32::try_from(parsed.u64_required("n")?)
+        .map_err(|_| CliError::Usage("--n is too large".into()))?;
+    let bound = model.p_late_bound(n, t)?;
+    let estimate = model.p_late_estimate(n, t)?;
+    let svc = model.round_service(n)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "round of {n} requests, t = {t} s:");
+    let _ = writeln!(out, "  mean service time:     {:.4} s", svc.mean());
+    let _ = writeln!(
+        out,
+        "  service-time std dev:  {:.4} s",
+        svc.variance().sqrt()
+    );
+    let _ = writeln!(out, "  p_late (Chernoff bound):     {bound:.6}");
+    let _ = writeln!(out, "  p_late (saddlepoint estimate): {estimate:.6}");
+    Ok(out)
+}
+
+fn table(parsed: &Parsed) -> Result<String, CliError> {
+    let model = model_of(parsed)?;
+    let t = parsed.f64_or("round", 1.0)?;
+    let thresholds = parsed.f64_list_or("thresholds", &[0.001, 0.005, 0.01, 0.05, 0.1])?;
+    let table = model.admission_table_late(t, &thresholds)?;
+    let mut out = String::from("admission lookup table (per-round overrun tolerance):\n");
+    let _ = writeln!(out, "  delta      N_max");
+    for (d, n) in table.rows() {
+        let _ = writeln!(out, "  {d:<9} {n}");
+    }
+    Ok(out)
+}
+
+fn simulate(parsed: &Parsed) -> Result<String, CliError> {
+    let t = parsed.f64_or("round", 1.0)?;
+    let mean = parsed.f64_or("mean", 200_000.0)?;
+    let sd = parsed.f64_or("sd", 100_000.0)?;
+    let n = u32::try_from(parsed.u64_required("n")?)
+        .map_err(|_| CliError::Usage("--n is too large".into()))?;
+    let rounds = parsed.u64_or("rounds", 10_000)?;
+    let seed = parsed.u64_or("seed", 42)?;
+    let cfg = SimConfig {
+        disk: disk_of(parsed)?,
+        sizes: SizeDistribution::gamma(mean, sd * sd)
+            .map_err(|e| CliError::Execution(e.to_string()))?,
+        round_length: t,
+        ..SimConfig::paper_reference()?
+    };
+    let est = estimate_p_late(&cfg, n, rounds, seed)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {rounds} rounds at N = {n}, t = {t} s (seed {seed}):"
+    );
+    let _ = writeln!(
+        out,
+        "  p_late = {:.5}  (95% CI [{:.5}, {:.5}], {} late rounds)",
+        est.p_late, est.ci.lo, est.ci.hi, est.late_rounds
+    );
+    let _ = writeln!(
+        out,
+        "  service time: mean {:.4} s, max {:.4} s",
+        est.mean_service_time, est.max_service_time
+    );
+    Ok(out)
+}
+
+fn plan(parsed: &Parsed) -> Result<String, CliError> {
+    let model = model_of(parsed)?;
+    let t = parsed.f64_or("round", 1.0)?;
+    let m = parsed.u64_or("m", 1200)?;
+    let g = parsed.u64_or("g", 12)?;
+    let eps = parsed.f64_or("epsilon", 0.01)?;
+    let population = u32::try_from(parsed.u64_required("population")?)
+        .map_err(|_| CliError::Usage("--population is too large".into()))?;
+    let per_disk = model.n_max_error(t, m, g, eps)?;
+    let disks = mzd_core::planning::disks_for_population(&model, t, m, g, eps, population)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "provisioning for {population} concurrent streams:");
+    let _ = writeln!(out, "  per-disk guarantee: {per_disk} streams");
+    let _ = writeln!(out, "  disks needed:       {disks}");
+    let _ = writeln!(
+        out,
+        "  aggregate bandwidth: {:.1} Mbit/s",
+        f64::from(per_disk * disks) * model.size_mean() * 8.0 / 1e6 / t
+    );
+    Ok(out)
+}
+
+fn worst_case(parsed: &Parsed) -> Result<String, CliError> {
+    let model = model_of(parsed)?;
+    let t = parsed.f64_or("round", 1.0)?;
+    let pess = model.n_max_worst_case(t, 0.99, WorstCaseRate::Innermost)?;
+    let opt = model.n_max_worst_case(t, 0.95, WorstCaseRate::MidRange)?;
+    let stoch = model.n_max_late(t, 0.01)?;
+    let mut out = String::from("deterministic worst-case admission (eq. 4.1):\n");
+    let _ = writeln!(out, "  99-pct size over innermost rate: N_max^wc = {pess}");
+    let _ = writeln!(out, "  95-pct size over mid rate:       N_max^wc = {opt}");
+    let _ = writeln!(
+        out,
+        "  (stochastic guarantee at 1%:     N_max    = {stoch})"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = line.iter().map(ToString::to_string).collect();
+        run(&parse(&args)?)
+    }
+
+    #[test]
+    fn help_and_disks() {
+        assert!(run_line(&["help"]).unwrap().contains("usage:"));
+        let disks = run_line(&["disks"]).unwrap();
+        assert!(disks.contains("viking"));
+        assert!(disks.contains("Quantum Viking 2.1"));
+        assert!(disks.contains("nextgen"));
+    }
+
+    #[test]
+    fn nmax_defaults_reproduce_paper() {
+        let out = run_line(&["nmax"]).unwrap();
+        assert!(out.contains("N_max = 26"), "{out}");
+        let out = run_line(&["nmax", "--m", "1200", "--g", "12", "--epsilon", "0.01"]).unwrap();
+        assert!(out.contains("N_max = 28"), "{out}");
+    }
+
+    #[test]
+    fn plate_reports_both_tails() {
+        let out = run_line(&["plate", "--n", "27"]).unwrap();
+        assert!(out.contains("Chernoff"), "{out}");
+        assert!(out.contains("saddlepoint"), "{out}");
+        assert!(out.contains("0.014") || out.contains("0.0144"), "{out}");
+    }
+
+    #[test]
+    fn plate_requires_n() {
+        assert!(matches!(run_line(&["plate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn table_rows_match_thresholds() {
+        let out = run_line(&["table", "--thresholds", "0.001,0.01,0.1"]).unwrap();
+        assert_eq!(out.matches('\n').count(), 5, "{out}");
+        assert!(out.contains("0.001"));
+    }
+
+    #[test]
+    fn simulate_small_run() {
+        let out = run_line(&["simulate", "--n", "20", "--rounds", "200", "--seed", "7"]).unwrap();
+        assert!(out.contains("p_late"), "{out}");
+        assert!(out.contains("simulated 200 rounds"), "{out}");
+    }
+
+    #[test]
+    fn plan_for_population() {
+        let out = run_line(&["plan", "--population", "500"]).unwrap();
+        assert!(out.contains("disks needed:       18"), "{out}");
+    }
+
+    #[test]
+    fn worstcase_defaults() {
+        let out = run_line(&["worstcase"]).unwrap();
+        assert!(out.contains("N_max^wc = 10"), "{out}");
+        assert!(out.contains("N_max^wc = 14"), "{out}");
+    }
+
+    #[test]
+    fn analyze_trace_end_to_end() {
+        let dir = std::env::temp_dir().join("mzd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.trace");
+        // A gamma-ish trace around the paper's moments.
+        let trace = mzd_workload::Trace::new(
+            (0..500)
+                .map(|i| 150_000.0 + 1_000.0 * f64::from(i % 100))
+                .collect(),
+            1.0,
+        )
+        .unwrap();
+        std::fs::write(&path, trace.to_text()).unwrap();
+        let out = run_line(&["analyze-trace", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("500 fragments"), "{out}");
+        assert!(out.contains("N_max = "), "{out}");
+        // Missing/invalid files.
+        assert!(matches!(
+            run_line(&["analyze-trace"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_line(&["analyze-trace", "--file", "/nonexistent/x"]),
+            Err(CliError::Execution(_))
+        ));
+    }
+
+    #[test]
+    fn other_profiles_work_end_to_end() {
+        let out = run_line(&["nmax", "--disk", "nextgen"]).unwrap();
+        assert!(out.contains("N_max = "), "{out}");
+        let out = run_line(&[
+            "nmax", "--disk", "legacy", "--mean", "100000", "--sd", "50000",
+        ])
+        .unwrap();
+        assert!(out.contains("N_max = "), "{out}");
+        assert!(matches!(
+            run_line(&["nmax", "--disk", "floppy"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

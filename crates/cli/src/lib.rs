@@ -1,0 +1,51 @@
+//! Library backing the `mzd` command-line tool.
+//!
+//! The heavy lifting lives in the other workspace crates; this crate is
+//! argument parsing ([`args`]) and command execution with plain-text
+//! output ([`commands`]). It is a library (with the thin `main.rs` on
+//! top) so the parsing and the command logic are unit-testable without
+//! spawning processes.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// The command line could not be parsed; the string is a user-facing
+    /// message (possibly multi-line usage text).
+    Usage(String),
+    /// A model/simulation call failed.
+    Execution(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Execution(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<mzd_core::CoreError> for CliError {
+    fn from(e: mzd_core::CoreError) -> Self {
+        CliError::Execution(e.to_string())
+    }
+}
+
+impl From<mzd_sim::SimError> for CliError {
+    fn from(e: mzd_sim::SimError) -> Self {
+        CliError::Execution(e.to_string())
+    }
+}
+
+impl From<mzd_disk::DiskError> for CliError {
+    fn from(e: mzd_disk::DiskError) -> Self {
+        CliError::Execution(e.to_string())
+    }
+}

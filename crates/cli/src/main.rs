@@ -1,0 +1,12 @@
+//! The `mzd` binary: parse, run, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mzd_cli::args::parse(&args).and_then(|p| mzd_cli::commands::run(&p)) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

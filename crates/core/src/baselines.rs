@@ -1,0 +1,280 @@
+//! The stochastic baselines the paper improves on.
+//!
+//! The related-work critique in §1/§3.1 names two weaker modeling choices:
+//!
+//! 1. **Independent seeks** instead of SCAN — \[CZ94\] and \[CL96\] model
+//!    each request's arm movement as a seek between two uniformly random
+//!    cylinders, forgoing the elevator's gap compression;
+//! 2. **Central-limit or Chebyshev tails** instead of Chernoff —
+//!    \[CZ94\] assumes `T_N` is normal ("which is not always justified for
+//!    realistic values of N"), \[CL96\] applies the Tschebyscheff
+//!    inequality ("a relatively coarse bound").
+//!
+//! This module implements those baselines faithfully so the comparison can
+//! be *run* rather than argued: [`SeekMoments::independent_uniform`] gives
+//! the exact per-request seek-time moments under random positions, and
+//! [`BaselineTail`] evaluates the normal and Chebyshev tails for the
+//! resulting round service time.
+
+use crate::transfer::TransferTimeModel;
+use crate::CoreError;
+use mzd_disk::SeekCurve;
+use mzd_numerics::integrate::GaussLegendre;
+use mzd_numerics::special::standard_normal_cdf;
+
+/// Mean and variance of a single request's seek time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekMoments {
+    /// Expected seek time, seconds.
+    pub mean: f64,
+    /// Seek-time variance, seconds².
+    pub variance: f64,
+}
+
+impl SeekMoments {
+    /// Seek-time moments under the independent-uniform model of
+    /// \[CZ94\]/\[CL96\]: source and target cylinders i.i.d. uniform on
+    /// `[0, CYL]`, so the distance `d` has the triangular density
+    /// `f(d) = 2(1 − d/CYL)/CYL`, and
+    /// `E[seek^k] = ∫ seek(d)^k f(d) dd` (by 128-point Gauss–Legendre per
+    /// branch of the piecewise curve — exact enough at 1e-12).
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] for a degenerate cylinder count.
+    pub fn independent_uniform(curve: &SeekCurve, cylinders: u32) -> Result<Self, CoreError> {
+        if cylinders < 2 {
+            return Err(CoreError::Invalid(format!(
+                "need at least 2 cylinders, got {cylinders}"
+            )));
+        }
+        let cyl = f64::from(cylinders);
+        let rule = GaussLegendre::new(128)?;
+        let density = move |d: f64| 2.0 * (1.0 - d / cyl) / cyl;
+        // Split the integral at the curve's branch threshold so each panel
+        // integrates an analytic function.
+        let split = curve.threshold().clamp(0.0, cyl);
+        let moment = |k: i32| {
+            let f = |d: f64| curve.seek_time(d).powi(k) * density(d);
+            rule.integrate(f, 0.0, split) + rule.integrate(f, split, cyl)
+        };
+        let m1 = moment(1);
+        let m2 = moment(2);
+        Ok(Self {
+            mean: m1,
+            variance: (m2 - m1 * m1).max(0.0),
+        })
+    }
+
+    /// The degenerate SCAN reading used by the paper: the whole sweep's
+    /// seek is the constant `SEEK(N)`, so per-request "seek moments" are
+    /// `SEEK/N` with zero variance. Provided for building CLT-with-SCAN
+    /// hybrids.
+    #[must_use]
+    pub fn scan_amortized(seek_constant: f64, n: u32) -> Self {
+        let n = f64::from(n.max(1));
+        Self {
+            mean: seek_constant / n,
+            variance: 0.0,
+        }
+    }
+}
+
+/// Which tail inequality a baseline applies to the round total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailMethod {
+    /// Central-limit approximation: `T_N ~ Normal(mean, var)` (\[CZ94\]).
+    /// Not a bound — it can (and for small `N` does) *underestimate* the
+    /// tail.
+    Normal,
+    /// One-sided Chebyshev (Cantelli): `P[T ≥ t] ≤ var/(var + (t−mean)²)`
+    /// — a true bound, but coarse (\[CL96\] uses the Tschebyscheff
+    /// family).
+    Chebyshev,
+}
+
+/// A baseline round service-time model: i.i.d. per-request components
+/// (seek + rotation + transfer) summed over `n` requests, tail-bounded by
+/// a classical inequality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineTail {
+    mean: f64,
+    variance: f64,
+    method: TailMethod,
+}
+
+impl BaselineTail {
+    /// Build from the per-request component models.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] for a non-positive rotation time.
+    pub fn new(
+        seek: SeekMoments,
+        rotation_time: f64,
+        transfer: &TransferTimeModel,
+        n: u32,
+        method: TailMethod,
+    ) -> Result<Self, CoreError> {
+        if !(rotation_time > 0.0) || !rotation_time.is_finite() {
+            return Err(CoreError::Invalid(format!(
+                "rotation time must be positive, got {rotation_time}"
+            )));
+        }
+        let nf = f64::from(n);
+        let per_mean = seek.mean + rotation_time / 2.0 + transfer.mean();
+        let per_var = seek.variance + rotation_time * rotation_time / 12.0 + transfer.variance();
+        Ok(Self {
+            mean: nf * per_mean,
+            variance: nf * per_var,
+            method,
+        })
+    }
+
+    /// Mean of the modeled round service time.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Variance of the modeled round service time.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// The baseline's estimate/bound of `P[T_N ≥ t]`.
+    #[must_use]
+    pub fn p_late(&self, t: f64) -> f64 {
+        if t <= self.mean {
+            return 1.0;
+        }
+        match self.method {
+            TailMethod::Normal => {
+                let z = (t - self.mean) / self.variance.sqrt().max(1e-300);
+                1.0 - standard_normal_cdf(z)
+            }
+            TailMethod::Chebyshev => {
+                let d = t - self.mean;
+                (self.variance / (self.variance + d * d)).min(1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viking_curve() -> SeekCurve {
+        SeekCurve::paper_form(1.867e-3, 1.315e-4, 3.8635e-3, 2.1e-6, 1344.0).unwrap()
+    }
+
+    fn paper_transfer() -> TransferTimeModel {
+        TransferTimeModel::from_moments(0.02165, 1.308e-4).unwrap()
+    }
+
+    #[test]
+    fn independent_seek_moments_are_sane() {
+        let m = SeekMoments::independent_uniform(&viking_curve(), 6720).unwrap();
+        // Mean must lie between seek(0)=0 and the full stroke (~18 ms),
+        // realistically around a third-stroke seek (~9–12 ms).
+        assert!(m.mean > 0.005 && m.mean < 0.015, "mean {:?}", m.mean);
+        assert!(m.variance > 0.0);
+        // sd below the max seek.
+        assert!(m.variance.sqrt() < 0.018);
+    }
+
+    #[test]
+    fn independent_seeks_cost_more_than_scan_amortized() {
+        // The quantitative core of the paper's critique: at N = 27 the
+        // SCAN sweep costs ~4 ms per request; an independent seek ~10 ms.
+        let ind = SeekMoments::independent_uniform(&viking_curve(), 6720).unwrap();
+        let scan = SeekMoments::scan_amortized(0.10932, 27);
+        assert!(
+            ind.mean > 2.0 * scan.mean,
+            "independent {} vs scan {}",
+            ind.mean,
+            scan.mean
+        );
+    }
+
+    #[test]
+    fn triangular_density_mass_check() {
+        // Moment(0) of the density must be 1: reuse the machinery with a
+        // constant curve of 1.0s offset → E[seek] = 1.
+        let unit = SeekCurve::linear(1.0, 0.0).unwrap();
+        let m = SeekMoments::independent_uniform(&unit, 6720).unwrap();
+        assert!((m.mean - 1.0).abs() < 1e-9, "mean {}", m.mean);
+        assert!(m.variance < 1e-9);
+    }
+
+    #[test]
+    fn normal_tail_values() {
+        let b = BaselineTail {
+            mean: 0.9,
+            variance: 0.0025, // sd 0.05
+            method: TailMethod::Normal,
+        };
+        // Two sigma: P ≈ 0.02275.
+        assert!((b.p_late(1.0) - 0.02275).abs() < 1e-4);
+        // At/below mean: 1.
+        assert_eq!(b.p_late(0.9), 1.0);
+        assert_eq!(b.p_late(0.5), 1.0);
+    }
+
+    #[test]
+    fn chebyshev_tail_values() {
+        let b = BaselineTail {
+            mean: 0.9,
+            variance: 0.0025,
+            method: TailMethod::Chebyshev,
+        };
+        // Cantelli at 2 sigma: 1/(1+4) = 0.2.
+        assert!((b.p_late(1.0) - 0.2).abs() < 1e-12);
+        assert!(b.p_late(0.95) > b.p_late(1.0));
+    }
+
+    #[test]
+    fn chebyshev_dominates_normal_past_the_mean() {
+        // Cantelli is a bound, the normal is an approximation; for a
+        // normal random variable Cantelli must dominate the true tail.
+        let (mean, variance) = (0.9, 0.0025);
+        let n = BaselineTail {
+            mean,
+            variance,
+            method: TailMethod::Normal,
+        };
+        let c = BaselineTail {
+            mean,
+            variance,
+            method: TailMethod::Chebyshev,
+        };
+        for &t in &[0.92, 1.0, 1.1, 1.3] {
+            assert!(c.p_late(t) >= n.p_late(t));
+        }
+    }
+
+    #[test]
+    fn baseline_round_model_matches_paper_scale() {
+        // With independent seeks at N = 27 the mean round time exceeds the
+        // SCAN model's (~0.82 s) by the extra seek cost (~0.18 s).
+        let seek = SeekMoments::independent_uniform(&viking_curve(), 6720).unwrap();
+        let b =
+            BaselineTail::new(seek, 0.00834, &paper_transfer(), 27, TailMethod::Normal).unwrap();
+        // SCAN's round mean at N = 27 is ~0.81 s; the independent-seek
+        // premium (~4.5 ms/request) pushes it to ~0.93 s.
+        assert!(b.mean() > 0.88 && b.mean() < 1.02, "mean {}", b.mean());
+        // The same load SCAN serves with p_late ~1% (and the simulated
+        // system with ~0.1%) is visibly stressed under independent seeks.
+        assert!(b.p_late(1.0) > 0.05, "p_late = {}", b.p_late(1.0));
+    }
+
+    #[test]
+    fn construction_validation() {
+        let seek = SeekMoments::scan_amortized(0.1, 27);
+        assert!(BaselineTail::new(seek, 0.0, &paper_transfer(), 27, TailMethod::Normal).is_err());
+        assert!(SeekMoments::independent_uniform(&viking_curve(), 1).is_err());
+        // scan_amortized with n = 0 does not divide by zero.
+        let s = SeekMoments::scan_amortized(0.1, 0);
+        assert_eq!(s.mean, 0.1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Log moment-generating functions of the round's service-time components.
+//!
+//! The paper works with Laplace–Stieltjes transforms `X*(s) = E[e^{-sX}]`
+//! (eq. 3.1.3) and uses the moment generating function `M(θ) = X*(-θ)` in
+//! the Chernoff bound. We evaluate everything in the *log* domain: the
+//! round transform is a product of `2N + 1` factors (eq. 3.1.4) whose
+//! values overflow long before `N = 30`, while their logs sum harmlessly.
+//!
+//! All functions return `ln E[e^{θX}]` for `θ ≥ 0` within the domain of
+//! existence, and `+∞` outside it.
+
+/// Log-MGF of a constant `c ≥ 0` (the accumulated SCAN seek time `SEEK`):
+/// `ln E[e^{θ·c}] = θ·c` (from `T*_seek(s) = e^{-s·SEEK}`, eq. 3.1.3).
+#[must_use]
+pub fn log_mgf_constant(theta: f64, c: f64) -> f64 {
+    theta * c
+}
+
+/// Log-MGF of a rotational delay uniform on `[0, ROT]`:
+/// `ln((e^{θ·ROT} − 1)/(θ·ROT))` (from `T*_rot(s) = (1 − e^{-s·ROT})/(s·ROT)`,
+/// eq. 3.1.3).
+///
+/// Evaluated via `exp_m1` with a series fallback for tiny arguments so the
+/// `θ → 0` limit (value 0) is exact to machine precision.
+#[must_use]
+pub fn log_mgf_uniform(theta: f64, rot: f64) -> f64 {
+    let x = theta * rot;
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x.abs() < 1e-8 {
+        // ln((e^x−1)/x) = x/2 + x²/24 − x⁴/2880 + …
+        return 0.5 * x + x * x / 24.0;
+    }
+    (x.exp_m1() / x).ln()
+}
+
+/// Log-MGF of a Gamma variable with rate `alpha` and shape `beta` (the
+/// paper's convention, eq. 3.1.2): `β·ln(α/(α−θ))` for `θ < α`
+/// (from `T*(s) = (α/(α+s))^β`, eq. 3.1.3). Returns `+∞` for `θ ≥ α`.
+#[must_use]
+pub fn log_mgf_gamma(theta: f64, alpha: f64, beta: f64) -> f64 {
+    if theta >= alpha {
+        return f64::INFINITY;
+    }
+    // −β·ln(1 − θ/α), stable for small θ/α via ln_1p.
+    -beta * (-theta / alpha).ln_1p()
+}
+
+/// First derivative of [`log_mgf_uniform`] in θ:
+/// `d/dθ ln((e^{θROT}−1)/(θROT)) = ROT·(e^x/(e^x−1) − 1/x)` with
+/// `x = θ·ROT`; equals `ROT/2` at θ = 0 (the mean).
+#[must_use]
+pub fn d_log_mgf_uniform(theta: f64, rot: f64) -> f64 {
+    let x = theta * rot;
+    if x.abs() < 1e-5 {
+        // Series: ROT·(1/2 + x/12 − x³/720 + …)
+        return rot * (0.5 + x / 12.0);
+    }
+    let em1 = x.exp_m1();
+    rot * ((em1 + 1.0) / em1 - 1.0 / x)
+}
+
+/// Second derivative of [`log_mgf_uniform`] in θ:
+/// `ROT²·(1/x² − e^x/(e^x−1)²)`; equals `ROT²/12` at θ = 0 (the
+/// variance).
+#[must_use]
+pub fn d2_log_mgf_uniform(theta: f64, rot: f64) -> f64 {
+    let x = theta * rot;
+    if x.abs() < 1e-4 {
+        // Series: ROT²·(1/12 − x²/240 + …)
+        return rot * rot * (1.0 / 12.0 - x * x / 240.0);
+    }
+    let em1 = x.exp_m1();
+    rot * rot * (1.0 / (x * x) - (em1 + 1.0) / (em1 * em1))
+}
+
+/// First derivative of [`log_mgf_gamma`] in θ: `β/(α−θ)` for `θ < α`.
+#[must_use]
+pub fn d_log_mgf_gamma(theta: f64, alpha: f64, beta: f64) -> f64 {
+    if theta >= alpha {
+        return f64::INFINITY;
+    }
+    beta / (alpha - theta)
+}
+
+/// Second derivative of [`log_mgf_gamma`] in θ: `β/(α−θ)²` for `θ < α`.
+#[must_use]
+pub fn d2_log_mgf_gamma(theta: f64, alpha: f64, beta: f64) -> f64 {
+    if theta >= alpha {
+        return f64::INFINITY;
+    }
+    let d = alpha - theta;
+    beta / (d * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_derivative<F: Fn(f64) -> f64>(f: F, x: f64) -> f64 {
+        let h = 1e-6 * x.abs().max(1e-3);
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn uniform_derivatives_match_numeric() {
+        let rot = 0.00834;
+        for &theta in &[1e-6, 0.5, 10.0, 120.0, 500.0] {
+            let d1 = d_log_mgf_uniform(theta, rot);
+            let n1 = numeric_derivative(|t| log_mgf_uniform(t, rot), theta);
+            assert!(
+                (d1 - n1).abs() < 1e-8 + 1e-5 * n1.abs(),
+                "theta {theta}: d1 {d1} vs numeric {n1}"
+            );
+            let d2 = d2_log_mgf_uniform(theta, rot);
+            let n2 = numeric_derivative(|t| d_log_mgf_uniform(t, rot), theta);
+            assert!(
+                (d2 - n2).abs() < 1e-10 + 1e-4 * n2.abs(),
+                "theta {theta}: d2 {d2} vs numeric {n2}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_derivatives_at_zero_are_moments() {
+        let rot = 0.00834;
+        assert!((d_log_mgf_uniform(0.0, rot) - rot / 2.0).abs() < 1e-15);
+        assert!((d2_log_mgf_uniform(0.0, rot) - rot * rot / 12.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gamma_derivatives_match_closed_forms() {
+        let (alpha, beta) = (165.0, 3.6);
+        for &theta in &[0.0, 50.0, 120.0, 160.0] {
+            assert!((d_log_mgf_gamma(theta, alpha, beta) - beta / (alpha - theta)).abs() < 1e-12);
+            let n1 = numeric_derivative(|t| log_mgf_gamma(t, alpha, beta), theta.max(1.0));
+            let d1 = d_log_mgf_gamma(theta.max(1.0), alpha, beta);
+            assert!((d1 - n1).abs() < 1e-5 * d1, "theta {theta}");
+        }
+        assert_eq!(d_log_mgf_gamma(165.0, alpha, beta), f64::INFINITY);
+        assert_eq!(d2_log_mgf_gamma(200.0, alpha, beta), f64::INFINITY);
+    }
+
+    #[test]
+    fn constant_log_mgf_is_linear() {
+        assert_eq!(log_mgf_constant(0.0, 5.0), 0.0);
+        assert_eq!(log_mgf_constant(2.0, 5.0), 10.0);
+    }
+
+    #[test]
+    fn uniform_log_mgf_limits_and_values() {
+        // θ = 0 → exactly 0 (MGF = 1).
+        assert_eq!(log_mgf_uniform(0.0, 0.00834), 0.0);
+        // Tiny θ: the series branch must agree with a cancellation-free
+        // direct evaluation (exp_m1 — a naive e^x − 1 loses everything
+        // at x ~ 1e-12).
+        let rot = 0.00834;
+        for &theta in &[1e-10f64, 1e-6, 1e-3, 1e-1] {
+            let x: f64 = theta * rot;
+            let direct = (x.exp_m1() / x).ln();
+            let ours = log_mgf_uniform(theta, rot);
+            assert!(
+                (ours - direct).abs() < 1e-15 + 1e-9 * direct.abs(),
+                "theta = {theta}: {ours} vs {direct}"
+            );
+        }
+        // Moderate θ: ln((e−1)/1) at θ·ROT = 1.
+        let v = log_mgf_uniform(1.0 / 0.00834, 0.00834);
+        assert!((v - (std::f64::consts::E - 1.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_log_mgf_derivative_at_zero_is_mean() {
+        // d/dθ ln E[e^{θX}] at 0 = E[X] = ROT/2.
+        let rot = 0.00834;
+        let h = 1e-6;
+        let d = (log_mgf_uniform(h, rot) - log_mgf_uniform(0.0, rot)) / h;
+        assert!((d - rot / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_log_mgf_matches_closed_form() {
+        let (alpha, beta) = (184.0f64, 4.0f64);
+        for &theta in &[0.0f64, 10.0, 100.0, 183.0] {
+            let expected = beta * (alpha / (alpha - theta)).ln();
+            assert!((log_mgf_gamma(theta, alpha, beta) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_log_mgf_diverges_at_rate() {
+        assert_eq!(log_mgf_gamma(184.0, 184.0, 4.0), f64::INFINITY);
+        assert_eq!(log_mgf_gamma(200.0, 184.0, 4.0), f64::INFINITY);
+        // Approaching the pole it blows up.
+        assert!(log_mgf_gamma(183.999_999, 184.0, 4.0) > 60.0);
+    }
+
+    #[test]
+    fn gamma_log_mgf_derivative_at_zero_is_mean() {
+        let (alpha, beta) = (46.0, 4.0); // mean = β/α
+        let h = 1e-7;
+        let d = (log_mgf_gamma(h, alpha, beta) - log_mgf_gamma(0.0, alpha, beta)) / h;
+        assert!((d - beta / alpha).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,144 @@
+//! Oyang's tight upper bound on the lumped seek time of a SCAN sweep.
+//!
+//! \[Oya95\] shows that for a concave seek-time function the accumulated
+//! seek time of serving `N` requests in one sweep is maximized when the
+//! request positions are equidistant: at cylinders `i·CYL/(N+1)` for
+//! `i = 1..N`. The sweep then consists of `N+1` equal gaps of
+//! `CYL/(N+1)` cylinders (edge-to-edge travel), so
+//!
+//! ```text
+//! SEEK(N) = (N + 1) · seek(CYL / (N + 1))
+//! ```
+//!
+//! This reproduces the paper's worked value `SEEK = 0.10932 s` for
+//! `N = 27` on the Table 1 disk. The bound is valid for multi-zone disks
+//! as well (§3.2): zoning skews the *positions*, but the equidistant
+//! configuration remains the worst case for any concave curve.
+//!
+//! **Hypothesis caveat**: the equidistant maximum is a theorem for curves
+//! with [`SeekCurve::is_concave`]. Published fits (including Table 1's)
+//! are sometimes only *near*-concave around the branch switch; there the
+//! bound holds for all request sets encountered in randomized testing,
+//! but adversarially chosen positions could exceed it by a vanishing
+//! margin. The Chernoff machinery treats `SEEK` as a modeling constant
+//! either way.
+
+use crate::seek::SeekCurve;
+
+/// Upper bound on the total seek time of one SCAN sweep serving `n`
+/// requests on a disk with `cylinders` cylinders (the paper's `SEEK`
+/// constant, eq. 3.1.1).
+///
+/// Returns `0` for `n == 0`.
+///
+/// ```
+/// // The paper's §3.1 worked value: SEEK = 0.10932 s at N = 27.
+/// let disk = mzd_disk::profiles::quantum_viking_2_1().build().unwrap();
+/// let seek = mzd_disk::oyang::seek_bound(disk.seek_curve(), 6720, 27);
+/// assert!((seek - 0.10932).abs() < 5e-6);
+/// ```
+#[must_use]
+pub fn seek_bound(curve: &SeekCurve, cylinders: u32, n: u32) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let gaps = f64::from(n) + 1.0;
+    gaps * curve.seek_time(f64::from(cylinders) / gaps)
+}
+
+/// The equidistant worst-case positions themselves: cylinders
+/// `round(i·CYL/(N+1))` for `i = 1..N`. Useful for adversarial testing of
+/// the simulator against the bound.
+#[must_use]
+pub fn worst_case_positions(cylinders: u32, n: u32) -> Vec<u32> {
+    (1..=n)
+        .map(|i| ((f64::from(i) * f64::from(cylinders)) / (f64::from(n) + 1.0)).round() as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{sweep_cost, SweepDirection};
+
+    fn viking_curve() -> SeekCurve {
+        SeekCurve::paper_form(1.867e-3, 1.315e-4, 3.8635e-3, 2.1e-6, 1344.0).unwrap()
+    }
+
+    #[test]
+    fn reproduces_paper_seek_constant() {
+        // §3.1: for N = 27 on the Table 1 disk, SEEK = 0.10932 s.
+        let s = seek_bound(&viking_curve(), 6720, 27);
+        assert!((s - 0.10932).abs() < 5e-6, "SEEK = {s}");
+    }
+
+    #[test]
+    fn zero_requests_zero_seek() {
+        assert_eq!(seek_bound(&viking_curve(), 6720, 0), 0.0);
+    }
+
+    #[test]
+    fn bound_grows_with_n_sublinearly() {
+        let c = viking_curve();
+        let mut prev = 0.0;
+        for n in 1..200 {
+            let s = seek_bound(&c, 6720, n);
+            assert!(s > prev, "bound must increase with N (n = {n})");
+            prev = s;
+        }
+        // Sublinear: per-request seek cost shrinks as N grows.
+        let s10 = seek_bound(&c, 6720, 10) / 10.0;
+        let s100 = seek_bound(&c, 6720, 100) / 100.0;
+        assert!(s100 < s10);
+    }
+
+    #[test]
+    fn bound_dominates_equidistant_sweep() {
+        // The bound equals the sweep cost over its own worst-case
+        // positions plus the travel to/from the edges.
+        let c = viking_curve();
+        for n in [1u32, 5, 27, 64] {
+            let mut pos = worst_case_positions(6720, n);
+            let sweep = sweep_cost(&c, 0, &mut pos, SweepDirection::Up);
+            // Edge travel: final gap from last position to cylinder CYL.
+            let bound = seek_bound(&c, 6720, n);
+            assert!(
+                bound >= sweep.seek_time - 1e-12,
+                "n = {n}: bound {bound} < sweep {}",
+                sweep.seek_time
+            );
+        }
+    }
+
+    #[test]
+    fn bound_dominates_random_sweeps() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt as _, SeedableRng};
+        let c = viking_curve();
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1u32, 4, 16, 27, 50] {
+            let bound = seek_bound(&c, 6720, n);
+            for _ in 0..200 {
+                let mut pos: Vec<u32> = (0..n).map(|_| rng.random_range(0..6720)).collect();
+                let sweep = sweep_cost(&c, 0, &mut pos, SweepDirection::Up);
+                assert!(
+                    sweep.seek_time <= bound + 1e-12,
+                    "random sweep {} exceeded bound {bound} (n = {n})",
+                    sweep.seek_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_positions_are_equidistant() {
+        let pos = worst_case_positions(6720, 27);
+        assert_eq!(pos.len(), 27);
+        assert_eq!(pos[0], 240);
+        assert_eq!(pos[26], 6480);
+        for w in pos.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((239..=241).contains(&gap), "gap {gap}");
+        }
+    }
+}

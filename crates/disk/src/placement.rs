@@ -1,0 +1,284 @@
+//! Data-placement policies over zones.
+//!
+//! The paper assumes data is spread uniformly over all sectors (§2.2) and
+//! leaves zone-aware placement — \[GKS96\], \[TKKD96\], \[Bir95\] — as
+//! future work. This module implements the placement family so the effect
+//! can be measured: restricting continuous data to the fast outer zones
+//! trades capacity for both a higher (and narrower) transfer-rate mix and
+//! a shorter seek span.
+//!
+//! A policy determines (a) the probability that a request hits each zone
+//! and (b) the cylinder band requests live in. The simulator samples from
+//! it directly; the analytic model consumes the zone weights and the
+//! reduced cylinder span.
+
+use crate::{Disk, DiskError};
+
+/// Where (and with what likelihood) fragments are placed on the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Uniform over all *sectors*: zone probability ∝ track capacity
+    /// (eq. 3.2.1) — the paper's assumption.
+    UniformByCapacity,
+    /// Uniform over all *cylinders*: every track equally likely regardless
+    /// of capacity — what a zone-oblivious allocator that balances track
+    /// counts would produce.
+    UniformByCylinder,
+    /// Only the `zones` outermost (fastest) zones are used, uniformly by
+    /// capacity within them — the \[GKS96\]-style placement of continuous
+    /// media on the fast zones, sacrificing the inner-zone capacity.
+    OuterZones {
+        /// How many outermost zones hold data (≥ 1).
+        zones: usize,
+    },
+    /// Only the `zones` innermost (slowest) zones — the adversarial
+    /// contrast case.
+    InnerZones {
+        /// How many innermost zones hold data (≥ 1).
+        zones: usize,
+    },
+}
+
+impl PlacementPolicy {
+    /// Validate the policy against a disk.
+    ///
+    /// # Errors
+    /// [`DiskError::Invalid`] if a zone-restricted policy names zero or
+    /// more zones than the disk has.
+    pub fn validate(&self, disk: &Disk) -> Result<(), DiskError> {
+        match *self {
+            PlacementPolicy::UniformByCapacity | PlacementPolicy::UniformByCylinder => Ok(()),
+            PlacementPolicy::OuterZones { zones } | PlacementPolicy::InnerZones { zones } => {
+                if zones == 0 || zones > disk.zone_count() {
+                    Err(DiskError::Invalid(format!(
+                        "zone-restricted placement needs 1..={} zones, got {zones}",
+                        disk.zone_count()
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Per-zone selection probabilities under this policy (length =
+    /// `disk.zone_count()`, sums to 1; zeros for excluded zones).
+    ///
+    /// # Errors
+    /// Propagates [`PlacementPolicy::validate`].
+    pub fn zone_weights(&self, disk: &Disk) -> Result<Vec<f64>, DiskError> {
+        self.validate(disk)?;
+        let z = disk.zone_count();
+        let weights: Vec<f64> = match *self {
+            PlacementPolicy::UniformByCapacity => {
+                (0..z).map(|i| disk.zones().zone_probability(i)).collect()
+            }
+            PlacementPolicy::UniformByCylinder => (0..z)
+                .map(|i| f64::from(disk.zone_cylinder_count(i)))
+                .collect(),
+            PlacementPolicy::OuterZones { zones } => (0..z)
+                .map(|i| {
+                    if i >= z - zones {
+                        disk.zones().track_capacity(i)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            PlacementPolicy::InnerZones { zones } => (0..z)
+                .map(|i| {
+                    if i < zones {
+                        disk.zones().track_capacity(i)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        };
+        let total: f64 = weights.iter().sum();
+        Ok(weights.into_iter().map(|w| w / total).collect())
+    }
+
+    /// The contiguous cylinder band `[first, last]` requests may target.
+    ///
+    /// # Errors
+    /// Propagates [`PlacementPolicy::validate`].
+    pub fn cylinder_band(&self, disk: &Disk) -> Result<(u32, u32), DiskError> {
+        self.validate(disk)?;
+        let z = disk.zone_count();
+        Ok(match *self {
+            PlacementPolicy::UniformByCapacity | PlacementPolicy::UniformByCylinder => {
+                (0, disk.cylinders() - 1)
+            }
+            PlacementPolicy::OuterZones { zones } => {
+                (disk.zone_first_cylinder(z - zones), disk.cylinders() - 1)
+            }
+            PlacementPolicy::InnerZones { zones } => (
+                0,
+                disk.zone_first_cylinder(zones - 1) + disk.zone_cylinder_count(zones - 1) - 1,
+            ),
+        })
+    }
+
+    /// Span of the band in cylinders — what the Oyang bound should use
+    /// instead of the full `CYL` under a restricted placement.
+    ///
+    /// # Errors
+    /// Propagates [`PlacementPolicy::validate`].
+    pub fn cylinder_span(&self, disk: &Disk) -> Result<u32, DiskError> {
+        let (lo, hi) = self.cylinder_band(disk)?;
+        Ok(hi - lo + 1)
+    }
+
+    /// Fraction of the disk's capacity usable under this policy.
+    ///
+    /// # Errors
+    /// Propagates [`PlacementPolicy::validate`].
+    pub fn capacity_fraction(&self, disk: &Disk) -> Result<f64, DiskError> {
+        self.validate(disk)?;
+        let z = disk.zone_count();
+        let total = disk.total_capacity();
+        let used: f64 = match *self {
+            PlacementPolicy::UniformByCapacity | PlacementPolicy::UniformByCylinder => total,
+            PlacementPolicy::OuterZones { zones } => ((z - zones)..z)
+                .map(|i| f64::from(disk.zone_cylinder_count(i)) * disk.zones().track_capacity(i))
+                .sum(),
+            PlacementPolicy::InnerZones { zones } => (0..zones)
+                .map(|i| f64::from(disk.zone_cylinder_count(i)) * disk.zones().track_capacity(i))
+                .sum(),
+        };
+        Ok(used / total)
+    }
+
+    /// `E[R^{-k}]` under this policy's zone mix — the moment the transfer
+    /// model needs (bytes/second units).
+    ///
+    /// # Errors
+    /// Propagates [`PlacementPolicy::validate`].
+    pub fn inverse_rate_moment(&self, disk: &Disk, k: i32) -> Result<f64, DiskError> {
+        let w = self.zone_weights(disk)?;
+        Ok(w.iter()
+            .enumerate()
+            .map(|(i, &p)| p * disk.zone_rate(i).powi(-k))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn viking() -> Disk {
+        profiles::quantum_viking_2_1().build().unwrap()
+    }
+
+    #[test]
+    fn uniform_by_capacity_matches_zone_model() {
+        let d = viking();
+        let w = PlacementPolicy::UniformByCapacity.zone_weights(&d).unwrap();
+        for (i, &p) in w.iter().enumerate() {
+            assert!(
+                (p - d.zones().zone_probability(i)).abs() < 1e-15,
+                "zone {i}"
+            );
+        }
+        assert_eq!(
+            PlacementPolicy::UniformByCapacity
+                .cylinder_band(&d)
+                .unwrap(),
+            (0, 6719)
+        );
+        assert_eq!(
+            PlacementPolicy::UniformByCapacity
+                .capacity_fraction(&d)
+                .unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn uniform_by_cylinder_weights_by_track_count() {
+        let d = viking();
+        let w = PlacementPolicy::UniformByCylinder.zone_weights(&d).unwrap();
+        // Equal track counts per zone → equal weights.
+        for &p in &w {
+            assert!((p - 1.0 / 15.0).abs() < 1e-12);
+        }
+        // That shifts mass inward relative to capacity weighting: the mean
+        // inverse rate (expected slowness) increases.
+        let slow_cyl = PlacementPolicy::UniformByCylinder
+            .inverse_rate_moment(&d, 1)
+            .unwrap();
+        let slow_cap = PlacementPolicy::UniformByCapacity
+            .inverse_rate_moment(&d, 1)
+            .unwrap();
+        assert!(slow_cyl > slow_cap);
+    }
+
+    #[test]
+    fn outer_zones_are_faster_and_smaller() {
+        let d = viking();
+        let p = PlacementPolicy::OuterZones { zones: 5 };
+        let w = p.zone_weights(&d).unwrap();
+        assert!(w[..10].iter().all(|&x| x == 0.0));
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Mean transfer time drops vs uniform.
+        assert!(
+            p.inverse_rate_moment(&d, 1).unwrap()
+                < PlacementPolicy::UniformByCapacity
+                    .inverse_rate_moment(&d, 1)
+                    .unwrap()
+        );
+        // Seek span shrinks to 5 zones' worth of cylinders.
+        assert_eq!(p.cylinder_span(&d).unwrap(), 5 * 448);
+        assert_eq!(p.cylinder_band(&d).unwrap(), (10 * 448, 6719));
+        // Capacity: the 5 outer zones hold more than 5/15 of the bytes.
+        let frac = p.capacity_fraction(&d).unwrap();
+        assert!(frac > 5.0 / 15.0 && frac < 0.45, "fraction {frac}");
+    }
+
+    #[test]
+    fn inner_zones_are_slower() {
+        let d = viking();
+        let p = PlacementPolicy::InnerZones { zones: 5 };
+        let w = p.zone_weights(&d).unwrap();
+        assert!(w[5..].iter().all(|&x| x == 0.0));
+        assert!(
+            p.inverse_rate_moment(&d, 1).unwrap()
+                > PlacementPolicy::UniformByCapacity
+                    .inverse_rate_moment(&d, 1)
+                    .unwrap()
+        );
+        assert_eq!(p.cylinder_band(&d).unwrap(), (0, 5 * 448 - 1));
+        let frac = p.capacity_fraction(&d).unwrap();
+        assert!(frac < 5.0 / 15.0, "fraction {frac}");
+    }
+
+    #[test]
+    fn whole_disk_restriction_equals_uniform() {
+        let d = viking();
+        let all = PlacementPolicy::OuterZones { zones: 15 };
+        let uni = PlacementPolicy::UniformByCapacity;
+        let wa = all.zone_weights(&d).unwrap();
+        let wu = uni.zone_weights(&d).unwrap();
+        for (a, u) in wa.iter().zip(&wu) {
+            assert!((a - u).abs() < 1e-12);
+        }
+        assert_eq!(all.cylinder_span(&d).unwrap(), 6720);
+    }
+
+    #[test]
+    fn invalid_restrictions_rejected() {
+        let d = viking();
+        assert!(PlacementPolicy::OuterZones { zones: 0 }
+            .validate(&d)
+            .is_err());
+        assert!(PlacementPolicy::OuterZones { zones: 16 }
+            .validate(&d)
+            .is_err());
+        assert!(PlacementPolicy::InnerZones { zones: 16 }
+            .zone_weights(&d)
+            .is_err());
+    }
+}

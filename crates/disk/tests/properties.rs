@@ -1,0 +1,144 @@
+//! Property-based tests for the disk substrate: geometric invariants over
+//! randomized drive parameters.
+
+use mzd_disk::placement::PlacementPolicy;
+use mzd_disk::scan::{independent_seek_cost, sweep_cost, SweepDirection};
+use mzd_disk::{oyang, Disk, SeekCurve, ZoneModel};
+use proptest::prelude::*;
+
+/// Random *concave* seek curves — the family for which Oyang's
+/// equidistant worst case is a theorem (see `SeekCurve::is_concave`).
+/// Continuity at the switch and a non-increasing slope are enforced by
+/// construction: the linear slope is a fraction of the sqrt-branch slope
+/// at the switch, and the linear offset is chosen for continuity.
+fn arb_curve() -> impl Strategy<Value = SeekCurve> {
+    (1e-4f64..5e-3, 1e-5f64..5e-4, 100.0f64..4000.0, 0.1f64..1.0).prop_map(
+        |(so, sc, th, slope_fraction)| {
+            let slope_at_switch = sc / (2.0 * th.sqrt());
+            let lc = slope_fraction * slope_at_switch;
+            let lo = so + sc * th.sqrt() - lc * th;
+            let curve = SeekCurve::paper_form(so, sc, lo, lc, th).expect("valid by construction");
+            assert!(curve.is_concave());
+            curve
+        },
+    )
+}
+
+fn arb_disk() -> impl Strategy<Value = Disk> {
+    (
+        arb_curve(),
+        500u32..20_000,
+        1usize..30,
+        10_000.0f64..200_000.0,
+        1.0f64..2.5,
+        3e-3f64..20e-3,
+    )
+        .prop_map(|(curve, cyl, z, c_min, spread, rot)| {
+            let c_max = if z == 1 { c_min } else { c_min * spread };
+            let zones = ZoneModel::linear(z, c_min, c_max).expect("valid");
+            Disk::new(cyl.max(z as u32), rot, curve, zones).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn seek_time_nonnegative_and_zero_at_origin(curve in arb_curve(), d in 0u32..50_000) {
+        prop_assert_eq!(curve.seek_time(0.0), 0.0);
+        prop_assert!(curve.seek_time_cyl(d) >= 0.0);
+    }
+
+    #[test]
+    fn scan_never_costs_more_than_independent_service(
+        curve in arb_curve(),
+        positions in prop::collection::vec(0u32..6720, 1..60),
+        start in 0u32..6720,
+    ) {
+        let mut sorted = positions.clone();
+        let scan = sweep_cost(&curve, start, &mut sorted, SweepDirection::Up);
+        let fcfs = independent_seek_cost(&curve, start, &positions);
+        // The elevator can pay one extra repositioning seek relative to
+        // FCFS when the batch lies behind the start; bound it by the cost
+        // of reaching the farthest end.
+        let slack = curve.seek_time_cyl(6720);
+        prop_assert!(
+            scan.seek_time <= fcfs.seek_time + slack + 1e-12,
+            "scan {} vs fcfs {}",
+            scan.seek_time,
+            fcfs.seek_time
+        );
+        prop_assert_eq!(scan.movements <= positions.len(), true);
+    }
+
+    #[test]
+    fn oyang_bound_dominates_edge_start_sweeps(
+        disk in arb_disk(),
+        seed_positions in prop::collection::vec(0.0f64..1.0, 1..50),
+    ) {
+        let cyl = disk.cylinders();
+        let mut positions: Vec<u32> = seed_positions
+            .iter()
+            .map(|&u| ((u * f64::from(cyl)) as u32).min(cyl - 1))
+            .collect();
+        let n = positions.len() as u32;
+        let bound = oyang::seek_bound(disk.seek_curve(), cyl, n);
+        let sweep = sweep_cost(disk.seek_curve(), 0, &mut positions, SweepDirection::Up);
+        prop_assert!(
+            sweep.seek_time <= bound + 1e-12,
+            "sweep {} > bound {bound} (n = {n})",
+            sweep.seek_time
+        );
+    }
+
+    #[test]
+    fn zone_bookkeeping_is_consistent(disk in arb_disk()) {
+        // Zone probabilities sum to 1 and the cylinder partition covers
+        // the disk exactly once.
+        let z = disk.zone_count();
+        let total_p: f64 = (0..z).map(|i| disk.zones().zone_probability(i)).sum();
+        prop_assert!((total_p - 1.0).abs() < 1e-9);
+        let total_cyl: u32 = (0..z).map(|i| disk.zone_cylinder_count(i)).sum();
+        prop_assert_eq!(total_cyl, disk.cylinders());
+        // Rates ordered inner to outer.
+        for i in 1..z {
+            prop_assert!(disk.zone_rate(i) >= disk.zone_rate(i - 1));
+        }
+        // E[R^{-1}] between the extremes' reciprocals.
+        let inv = disk.inverse_rate_moment(1);
+        prop_assert!(inv >= 1.0 / disk.max_rate() - 1e-15);
+        prop_assert!(inv <= 1.0 / disk.min_rate() + 1e-15);
+    }
+
+    #[test]
+    fn placement_weights_are_distributions(disk in arb_disk(), outer in 1usize..30) {
+        let policies = [
+            PlacementPolicy::UniformByCapacity,
+            PlacementPolicy::UniformByCylinder,
+            PlacementPolicy::OuterZones { zones: outer.min(disk.zone_count()) },
+            PlacementPolicy::InnerZones { zones: outer.min(disk.zone_count()) },
+        ];
+        for p in policies {
+            let w = p.zone_weights(&disk).unwrap();
+            prop_assert_eq!(w.len(), disk.zone_count());
+            prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(w.iter().all(|&x| x >= 0.0));
+            let frac = p.capacity_fraction(&disk).unwrap();
+            prop_assert!(frac > 0.0 && frac <= 1.0 + 1e-12);
+            let (lo, hi) = p.cylinder_band(&disk).unwrap();
+            prop_assert!(hi >= lo && hi < disk.cylinders());
+        }
+    }
+
+    #[test]
+    fn oyang_bound_monotone_and_sublinear(disk in arb_disk(), n in 1u32..100) {
+        let b_n = oyang::seek_bound(disk.seek_curve(), disk.cylinders(), n);
+        let b_n1 = oyang::seek_bound(disk.seek_curve(), disk.cylinders(), n + 1);
+        prop_assert!(b_n1 >= b_n - 1e-12, "bound not monotone at n = {n}");
+        // Per-request cost shrinks.
+        prop_assert!(
+            b_n1 / f64::from(n + 1) <= b_n / f64::from(n) + 1e-12,
+            "per-request cost grew at n = {n}"
+        );
+    }
+}

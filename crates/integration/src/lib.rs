@@ -1,0 +1,5 @@
+//! Host crate for the workspace-level integration tests; the tests
+//! themselves live in the repository-root `tests/` directory and exercise
+//! the public APIs of all `mzd-*` crates together.
+
+#![warn(missing_docs)]

@@ -1,0 +1,247 @@
+//! Scalar minimization: golden-section search and Brent's parabolic method.
+//!
+//! The heart of the paper's machinery is the Chernoff bound
+//! `P[T_N ≥ t] ≤ inf_{θ≥0} e^{-θt} M(θ)` (eq. 3.1.5): the infimum is found
+//! numerically. We minimize `ln h(θ)` — a convex function of θ on the open
+//! interval where the moment generating function exists — so any local
+//! minimizer is global and unimodal-search methods apply.
+
+use crate::{NumericsError, Result};
+
+/// Result of a scalar minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Argument of the minimum.
+    pub x: f64,
+    /// Function value at [`Minimum::x`].
+    pub value: f64,
+    /// Number of function evaluations spent.
+    pub evaluations: usize,
+}
+
+const GOLDEN: f64 = 0.618_033_988_749_894_9; // (√5 − 1) / 2
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// Derivative-free and robust; converges linearly with ratio φ⁻¹. Runs
+/// until the bracket is below `tol` (relative to `|x|`, with an absolute
+/// floor) or 300 iterations.
+///
+/// # Errors
+/// [`NumericsError::Domain`] unless `a < b` and both are finite.
+pub fn golden_section<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<Minimum> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(NumericsError::Domain {
+            what: "golden_section",
+            detail: format!("require finite a < b, got [{a}, {b}]"),
+        });
+    }
+    let mut lo = a;
+    let mut hi = b;
+    let mut x1 = hi - GOLDEN * (hi - lo);
+    let mut x2 = lo + GOLDEN * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut evals = 2;
+    for _ in 0..300 {
+        if hi - lo <= tol.max(1e-15) * (lo.abs() + hi.abs()).max(1.0) {
+            break;
+        }
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - GOLDEN * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + GOLDEN * (hi - lo);
+            f2 = f(x2);
+        }
+        evals += 1;
+    }
+    let (x, value) = if f1 <= f2 { (x1, f1) } else { (x2, f2) };
+    Ok(Minimum {
+        x,
+        value,
+        evaluations: evals,
+    })
+}
+
+/// Brent's parabolic-interpolation minimizer on `[a, b]` for unimodal `f`.
+///
+/// Superlinear on smooth functions; falls back to golden-section steps when
+/// the parabola misbehaves. This is the default optimizer for the Chernoff
+/// exponent.
+///
+/// ```
+/// let m = mzd_numerics::minimize::brent_minimize(|x| (x - 2.0_f64).powi(2), 0.0, 5.0, 1e-12)
+///     .unwrap();
+/// assert!((m.x - 2.0).abs() < 1e-6);
+/// ```
+///
+/// # Errors
+/// [`NumericsError::Domain`] unless `a < b` and both are finite.
+pub fn brent_minimize<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<Minimum> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(NumericsError::Domain {
+            what: "brent_minimize",
+            detail: format!("require finite a < b, got [{a}, {b}]"),
+        });
+    }
+    const CGOLD: f64 = 0.381_966_011_250_105; // 1 − φ⁻¹
+    const ZEPS: f64 = 1e-18;
+    let tol = tol.max(1e-14);
+
+    let (mut lo, mut hi) = (a, b);
+    let mut x = lo + CGOLD * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut evals = 1;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for _ in 0..300 {
+        let xm = 0.5 * (lo + hi);
+        let tol1 = tol * x.abs() + ZEPS;
+        let tol2 = 2.0 * tol1;
+        if (x - xm).abs() <= tol2 - 0.5 * (hi - lo) {
+            return Ok(Minimum {
+                x,
+                value: fx,
+                evaluations: evals,
+            });
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Trial parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let mut q = (x - v) * (fx - fw);
+            let mut p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let etemp = e;
+            e = d;
+            if p.abs() < (0.5 * q * etemp).abs() && p > q * (lo - x) && p < q * (hi - x) {
+                d = p / q;
+                let u = x + d;
+                if u - lo < tol2 || hi - u < tol2 {
+                    d = tol1.copysign(xm - x);
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x >= xm { lo - x } else { hi - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + tol1.copysign(d)
+        };
+        let fu = f(u);
+        evals += 1;
+        if fu <= fx {
+            if u >= x {
+                lo = x;
+            } else {
+                hi = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    Ok(Minimum {
+        x,
+        value: fx,
+        evaluations: evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn golden_finds_parabola_vertex() {
+        let m = golden_section(|x| (x - 2.5) * (x - 2.5) + 1.0, 0.0, 10.0, 1e-10).unwrap();
+        assert_close(m.x, 2.5, 1e-7);
+        assert_close(m.value, 1.0, 1e-12);
+        assert!(m.evaluations > 2);
+    }
+
+    #[test]
+    fn brent_min_parabola_vertex_fast() {
+        let m = brent_minimize(|x| (x - 2.5) * (x - 2.5) + 1.0, 0.0, 10.0, 1e-12).unwrap();
+        assert_close(m.x, 2.5, 1e-8);
+        // Parabolic interpolation should need far fewer evals than golden.
+        let g = golden_section(|x| (x - 2.5) * (x - 2.5) + 1.0, 0.0, 10.0, 1e-12).unwrap();
+        assert!(m.evaluations < g.evaluations);
+    }
+
+    #[test]
+    fn brent_min_transcendental() {
+        // min of x·e^x... actually minimize f(x) = x² + sin(5x) on [-1,1]
+        // (unimodal near its global min ≈ −0.2905).
+        let m = brent_minimize(|x| x * x - x.ln(), 0.1, 5.0, 1e-12).unwrap();
+        // f' = 2x − 1/x = 0 → x = 1/√2
+        assert_close(m.x, 1.0 / std::f64::consts::SQRT_2, 1e-7);
+    }
+
+    #[test]
+    fn chernoff_shaped_objective() {
+        // ln h(θ) for an exponential MGF: −θt + N ln(λ/(λ−θ));
+        // minimizer θ* = λ − N/t.
+        let (lambda, n, t) = (50.0, 20.0, 1.0);
+        let obj = |th: f64| -th * t + n * (lambda / (lambda - th)).ln();
+        let m = brent_minimize(obj, 1e-9, lambda * (1.0 - 1e-9), 1e-13).unwrap();
+        assert_close(m.x, lambda - n / t, 1e-5);
+    }
+
+    #[test]
+    fn minimum_at_boundary_is_handled() {
+        // Monotone decreasing → minimum at right edge.
+        let m = brent_minimize(|x| -x, 0.0, 1.0, 1e-10).unwrap();
+        assert!(m.x > 0.999);
+        let g = golden_section(|x| -x, 0.0, 1.0, 1e-10).unwrap();
+        assert!(g.x > 0.999);
+    }
+
+    #[test]
+    fn invalid_intervals_rejected() {
+        assert!(golden_section(|x| x, 1.0, 0.0, 1e-9).is_err());
+        assert!(brent_minimize(|x| x, 0.0, f64::NAN, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Table-driven stochastic admission control (§2.3, §5).
+//!
+//! The controller is configured with a quality target, precomputes the
+//! per-disk `N_max` from the analytic model **once**, and thereafter
+//! decides admissions with a comparison — the paper's §5 design ("a lookup
+//! table with precomputed values of N_max … incurs almost no run-time
+//! overhead"). Re-evaluation is only needed when the disk configuration or
+//! the workload statistics change ([`AdmissionController::retarget`]).
+
+use crate::ServerError;
+use mzd_core::GuaranteeModel;
+
+/// The service-quality target the operator guarantees to clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityTarget {
+    /// Bound the probability that any round overruns: `p_late ≤ delta`
+    /// (eq. 3.1.7).
+    RoundOverrun {
+        /// Tolerance on the per-round overrun probability.
+        delta: f64,
+    },
+    /// Bound the probability that a stream of `m` rounds suffers `g` or
+    /// more glitches: `p_error ≤ epsilon` (eq. 3.3.6) — the per-stream
+    /// guarantee the paper advocates.
+    GlitchRate {
+        /// Stream length in rounds (`M`).
+        m: u64,
+        /// Tolerated glitches per stream (`g`).
+        g: u64,
+        /// Tolerance on the per-stream failure probability.
+        epsilon: f64,
+    },
+}
+
+/// Outcome of an admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The stream may be opened.
+    Admit,
+    /// The stream must be rejected or postponed: admitting it would push
+    /// some disk past the per-disk limit.
+    Reject {
+        /// The per-disk stream limit in force.
+        per_disk_limit: u32,
+    },
+}
+
+/// Precomputed admission controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionController {
+    target: QualityTarget,
+    round_length: f64,
+    per_disk_limit: u32,
+}
+
+impl AdmissionController {
+    /// Derive the per-disk limit from the analytic model for the given
+    /// target and round length. This is the only expensive call (a few
+    /// dozen Chernoff optimizations); store the controller and decide in
+    /// O(1) afterwards.
+    ///
+    /// # Errors
+    /// Propagates model-evaluation errors (invalid `t` or thresholds).
+    pub fn from_model(
+        model: &GuaranteeModel,
+        round_length: f64,
+        target: QualityTarget,
+    ) -> Result<Self, ServerError> {
+        let per_disk_limit = match target {
+            QualityTarget::RoundOverrun { delta } => model.n_max_late(round_length, delta)?,
+            QualityTarget::GlitchRate { m, g, epsilon } => {
+                model.n_max_error(round_length, m, g, epsilon)?
+            }
+        };
+        Ok(Self {
+            target,
+            round_length,
+            per_disk_limit,
+        })
+    }
+
+    /// The per-disk stream limit in force.
+    #[must_use]
+    pub fn per_disk_limit(&self) -> u32 {
+        self.per_disk_limit
+    }
+
+    /// The quality target in force.
+    #[must_use]
+    pub fn target(&self) -> QualityTarget {
+        self.target
+    }
+
+    /// The round length the limit was computed for, seconds.
+    #[must_use]
+    pub fn round_length(&self) -> f64 {
+        self.round_length
+    }
+
+    /// Decide whether one more stream fits, given the current per-disk
+    /// stream counts. O(D).
+    ///
+    /// All streams rotate over the disks in lockstep (one fragment per
+    /// round, stride 1), so a round's per-disk load vector is always a
+    /// rotation of the start-offset histogram: a new stream permanently
+    /// adds one to exactly one *offset*. It fits iff some offset is below
+    /// the per-disk limit — i.e. iff the least-loaded disk has headroom.
+    #[must_use]
+    pub fn decide(&self, per_disk_active: &[u32]) -> AdmissionDecision {
+        let min_load = per_disk_active.iter().copied().min().unwrap_or(0);
+        if min_load < self.per_disk_limit {
+            AdmissionDecision::Admit
+        } else {
+            AdmissionDecision::Reject {
+                per_disk_limit: self.per_disk_limit,
+            }
+        }
+    }
+
+    /// Recompute the limit after a configuration or workload change (§5:
+    /// "the table has to be updated … only if the disk configuration or
+    /// general data characteristics change").
+    ///
+    /// # Errors
+    /// Propagates model-evaluation errors.
+    pub fn retarget(&mut self, model: &GuaranteeModel) -> Result<(), ServerError> {
+        *self = Self::from_model(model, self.round_length, self.target)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GuaranteeModel {
+        GuaranteeModel::paper_reference().unwrap()
+    }
+
+    #[test]
+    fn overrun_target_reproduces_paper_limit() {
+        let c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::RoundOverrun { delta: 0.01 },
+        )
+        .unwrap();
+        assert_eq!(c.per_disk_limit(), 26);
+        assert_eq!(c.round_length(), 1.0);
+    }
+
+    #[test]
+    fn glitch_target_reproduces_paper_limit() {
+        let c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::GlitchRate {
+                m: 1200,
+                g: 12,
+                epsilon: 0.01,
+            },
+        )
+        .unwrap();
+        assert_eq!(c.per_disk_limit(), 28);
+    }
+
+    #[test]
+    fn decisions_respect_the_most_loaded_disk() {
+        let c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::RoundOverrun { delta: 0.01 },
+        )
+        .unwrap();
+        assert_eq!(c.decide(&[0, 0, 0]), AdmissionDecision::Admit);
+        assert_eq!(c.decide(&[25, 25, 25]), AdmissionDecision::Admit);
+        // One full offset doesn't block admission — the new stream takes a
+        // different start offset.
+        assert_eq!(c.decide(&[26, 10, 10]), AdmissionDecision::Admit);
+        assert_eq!(
+            c.decide(&[26, 26, 26]),
+            AdmissionDecision::Reject { per_disk_limit: 26 }
+        );
+        // No disks at all: vacuously admit (the server constructor forbids
+        // zero disks; this is just the max() default).
+        assert_eq!(c.decide(&[]), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn retarget_tracks_new_model() {
+        let mut c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::RoundOverrun { delta: 0.01 },
+        )
+        .unwrap();
+        let before = c.per_disk_limit();
+        // Same model → same limit.
+        c.retarget(&model()).unwrap();
+        assert_eq!(c.per_disk_limit(), before);
+        // A heavier workload (double mean size) lowers the limit.
+        let heavy = GuaranteeModel::new(
+            model().disk().clone(),
+            400_000.0,
+            4e10,
+            mzd_core::ZoneHandling::Discrete,
+        )
+        .unwrap();
+        c.retarget(&heavy).unwrap();
+        assert!(c.per_disk_limit() < before);
+    }
+
+    #[test]
+    fn stricter_targets_admit_fewer() {
+        let loose = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::RoundOverrun { delta: 0.05 },
+        )
+        .unwrap();
+        let strict = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::RoundOverrun { delta: 0.001 },
+        )
+        .unwrap();
+        assert!(strict.per_disk_limit() < loose.per_disk_limit());
+    }
+}

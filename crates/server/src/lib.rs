@@ -1,0 +1,77 @@
+//! A continuous-media server built on the PODS'97 stochastic service
+//! guarantees: the layer a downstream user actually deploys.
+//!
+//! The architecture follows §2 and §5 of the paper:
+//!
+//! * **Data layout** ([`striping`]) — coarse-grained round-robin striping
+//!   of each object's fragments across all `D` disks (cluster size 1,
+//!   stride 1), so consecutive rounds of one stream hit consecutive disks
+//!   and load stays balanced.
+//! * **Admission control** ([`admission`]) — a table-driven controller
+//!   (§5: precomputed `N_max` per tolerance) that admits a new stream only
+//!   if every disk stays at or below the per-disk limit derived from the
+//!   analytic model in [`mzd_core`].
+//! * **Round scheduling** ([`server`]) — one SCAN round per disk per
+//!   round tick, simulated with the exact kinematics of [`mzd_sim`];
+//!   per-stream glitch accounting matches the model's definitions.
+//! * **Client buffering** ([`buffer`]) — double-buffer accounting per
+//!   client, reporting the high-water buffer requirement (§2: "the buffer
+//!   size must not be below a certain minimum").
+//!
+//! ```
+//! use mzd_server::{QualityTarget, ServerConfig, VideoServer};
+//! use mzd_workload::ObjectSpec;
+//!
+//! let cfg = ServerConfig::paper_reference(4).unwrap(); // 4 disks
+//! let mut server = VideoServer::new(cfg, 7).unwrap();
+//! let stream = server
+//!     .open_stream(ObjectSpec::paper_default())
+//!     .expect("an empty server admits the first stream");
+//! server.run_round();
+//! assert!(server.active_streams() == 1);
+//! # let _ = stream; let _ = QualityTarget::RoundOverrun { delta: 0.01 };
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod buffer;
+pub mod server;
+pub mod striping;
+
+pub use admission::{AdmissionController, AdmissionDecision, QualityTarget};
+pub use buffer::BufferTracker;
+pub use server::{RoundReport, ServerConfig, StreamHandle, VideoServer};
+pub use striping::StripingLayout;
+
+/// Errors from server configuration and operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// A configuration parameter was invalid.
+    Invalid(String),
+    /// A stream id was not found among active sessions.
+    UnknownStream(u64),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Invalid(msg) => write!(f, "invalid server parameters: {msg}"),
+            ServerError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<mzd_core::CoreError> for ServerError {
+    fn from(e: mzd_core::CoreError) -> Self {
+        ServerError::Invalid(e.to_string())
+    }
+}
+
+impl From<mzd_sim::SimError> for ServerError {
+    fn from(e: mzd_sim::SimError) -> Self {
+        ServerError::Invalid(e.to_string())
+    }
+}

@@ -1,0 +1,832 @@
+//! The server proper: stream lifecycle, per-disk round scheduling, and
+//! glitch accounting.
+//!
+//! [`VideoServer`] owns `D` per-disk round simulators, an admission
+//! controller derived from the analytic model, and the active sessions.
+//! Each call to [`VideoServer::run_round`] advances global time by one
+//! round: every active stream requests its next fragment from the disk
+//! the striping layout assigns it, each disk serves its batch in one SCAN
+//! sweep, and streams whose requests completed after the deadline record
+//! a glitch (§2.3).
+
+use crate::admission::{AdmissionController, AdmissionDecision, QualityTarget};
+use crate::buffer::BufferTracker;
+use crate::striping::StripingLayout;
+use crate::ServerError;
+use mzd_core::{GuaranteeModel, ZoneHandling};
+use mzd_disk::Disk;
+use mzd_sim::round::{OverrunPolicy, RoundSimulator, SeekPolicy, SimConfig};
+use mzd_workload::{ObjectSpec, SizeDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Server-wide configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// The (homogeneous) disk model used by every spindle.
+    pub disk: Disk,
+    /// Number of disks `D`.
+    pub disks: u32,
+    /// Round length `t`, seconds.
+    pub round_length: f64,
+    /// The admission quality target.
+    pub target: QualityTarget,
+    /// Fragment-size moments fed to the admission model (the "workload
+    /// statistics" of §2.3 — e.g. [`mzd_workload::ObjectCatalog::pooled_moments`]).
+    pub admission_size_mean: f64,
+    /// Fragment-size variance for the admission model.
+    pub admission_size_variance: f64,
+}
+
+impl ServerConfig {
+    /// The paper's reference server: `disks` Quantum Viking 2.1 spindles,
+    /// 1-second rounds, Gamma(200 KB, (100 KB)²) workload statistics, and
+    /// the per-stream glitch-rate target (M = 1200, g = 12, ε = 1%).
+    ///
+    /// # Errors
+    /// [`ServerError::Invalid`] for zero disks.
+    pub fn paper_reference(disks: u32) -> Result<Self, ServerError> {
+        if disks == 0 {
+            return Err(ServerError::Invalid(
+                "a server needs at least one disk".into(),
+            ));
+        }
+        let disk = mzd_disk::profiles::quantum_viking_2_1()
+            .build()
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        Ok(Self {
+            disk,
+            disks,
+            round_length: 1.0,
+            target: QualityTarget::GlitchRate {
+                m: 1200,
+                g: 12,
+                epsilon: 0.01,
+            },
+            admission_size_mean: 200_000.0,
+            admission_size_variance: 1e10,
+        })
+    }
+
+    /// Build the analytic model this configuration implies.
+    ///
+    /// # Errors
+    /// Propagates model-construction errors.
+    pub fn model(&self) -> Result<GuaranteeModel, ServerError> {
+        Ok(GuaranteeModel::new(
+            self.disk.clone(),
+            self.admission_size_mean,
+            self.admission_size_variance,
+            ZoneHandling::Discrete,
+        )?)
+    }
+}
+
+/// Opaque handle to an admitted stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamHandle(u64);
+
+impl StreamHandle {
+    /// The raw stream id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An active session.
+#[derive(Debug)]
+struct Session {
+    id: u64,
+    object: ObjectSpec,
+    fragments_consumed: u32,
+    start_disk: u32,
+    glitches: u64,
+    buffer: BufferTracker,
+    /// Paused streams hold their admission reservation but request no
+    /// fragments (VCR pause with guaranteed resumption).
+    paused: bool,
+}
+
+/// A finished (played-out or cancelled) stream's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedStream {
+    /// Stream id.
+    pub id: u64,
+    /// Object name.
+    pub object: String,
+    /// Rounds actually played.
+    pub rounds_played: u32,
+    /// Glitches suffered.
+    pub glitches: u64,
+    /// Client buffer high-water mark, bytes.
+    pub buffer_high_water: f64,
+}
+
+/// Summary of one disk's round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskRoundSummary {
+    /// Disk index.
+    pub disk: u32,
+    /// Requests served.
+    pub requests: u32,
+    /// Sweep service time, seconds.
+    pub service_time: f64,
+    /// Whether the disk overran the round.
+    pub late: bool,
+}
+
+/// Report for one global round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// 0-based round index.
+    pub round: u64,
+    /// Per-disk summaries.
+    pub disks: Vec<DiskRoundSummary>,
+    /// Stream ids that glitched this round.
+    pub glitched_streams: Vec<u64>,
+    /// Stream ids that finished play-out this round.
+    pub completed_streams: Vec<u64>,
+    /// Stream ids admitted from the wait queue at the end of this round.
+    pub admitted_from_queue: Vec<u64>,
+}
+
+/// The continuous-media server.
+#[derive(Debug)]
+pub struct VideoServer {
+    cfg: ServerConfig,
+    layout: StripingLayout,
+    admission: AdmissionController,
+    disks: Vec<RoundSimulator>,
+    sessions: Vec<Session>,
+    completed: Vec<CompletedStream>,
+    waiting: std::collections::VecDeque<(u64, ObjectSpec)>,
+    rng: StdRng,
+    next_id: u64,
+    rounds_run: u64,
+    rejected: u64,
+    /// Scratch: per-disk session indices for the current round.
+    batch: Vec<Vec<usize>>,
+    /// Scratch: per-disk fragment sizes for the current round.
+    batch_sizes: Vec<Vec<f64>>,
+}
+
+impl VideoServer {
+    /// Bring up a server: derives the admission limit from the analytic
+    /// model and initializes one round simulator per disk.
+    ///
+    /// # Errors
+    /// Propagates configuration and model errors.
+    pub fn new(cfg: ServerConfig, seed: u64) -> Result<Self, ServerError> {
+        let layout = StripingLayout::new(cfg.disks)?;
+        let model = cfg.model()?;
+        let admission = AdmissionController::from_model(&model, cfg.round_length, cfg.target)?;
+        let sim_cfg = SimConfig {
+            disk: cfg.disk.clone(),
+            sizes: SizeDistribution::gamma(cfg.admission_size_mean, cfg.admission_size_variance)
+                .map_err(|e| ServerError::Invalid(e.to_string()))?,
+            round_length: cfg.round_length,
+            seek_policy: SeekPolicy::Scan,
+            overrun: OverrunPolicy::CompleteAll,
+            placement: mzd_disk::PlacementPolicy::UniformByCapacity,
+            recalibration: None,
+        };
+        let disks = (0..cfg.disks)
+            .map(|d| RoundSimulator::new(sim_cfg.clone(), seed.wrapping_add(u64::from(d) + 1)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let disk_count = cfg.disks as usize;
+        Ok(Self {
+            cfg,
+            layout,
+            admission,
+            disks,
+            sessions: Vec::new(),
+            completed: Vec::new(),
+            waiting: std::collections::VecDeque::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            rounds_run: 0,
+            rejected: 0,
+            batch: vec![Vec::new(); disk_count],
+            batch_sizes: vec![Vec::new(); disk_count],
+        })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The admission controller in effect.
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Number of active streams.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Rounds run so far.
+    #[must_use]
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Streams rejected by admission control so far.
+    #[must_use]
+    pub fn rejected_streams(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Records of streams that finished play-out.
+    #[must_use]
+    pub fn completed_streams(&self) -> &[CompletedStream] {
+        &self.completed
+    }
+
+    /// Per-disk active stream counts *for the next round* (each session is
+    /// pinned to one disk per round by the striping rotation). Paused
+    /// sessions are counted: they hold their admission reservation so
+    /// resumption is always possible without re-admission.
+    #[must_use]
+    pub fn per_disk_load(&self) -> Vec<u32> {
+        let mut load = vec![0u32; self.cfg.disks as usize];
+        for s in &self.sessions {
+            let d = self
+                .layout
+                .disk_of_fragment(s.start_disk, s.fragments_consumed);
+            load[d as usize] += 1;
+        }
+        load
+    }
+
+    /// Try to open a stream on `object`. Admission is stochastic-guarantee
+    /// driven: the request is rejected if any disk would exceed the
+    /// precomputed per-disk limit.
+    ///
+    /// # Errors
+    /// [`ServerError::Invalid`] is never returned here; rejection is
+    /// signalled by `Ok(Err(decision))`-free design: the return is
+    /// `Result<StreamHandle, AdmissionDecision>` wrapped in the outer
+    /// server error for uniformity.
+    pub fn open_stream(&mut self, object: ObjectSpec) -> Result<StreamHandle, AdmissionDecision> {
+        // The rotation visits every disk, so the binding constraint is the
+        // most loaded disk — checked by the controller.
+        let load = self.per_disk_load();
+        match self.admission.decide(&load) {
+            AdmissionDecision::Admit => {
+                // Start on the least-loaded disk to keep the rotation
+                // balanced.
+                let start = load
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &l)| l)
+                    .map(|(d, _)| d as u32)
+                    .unwrap_or(0);
+                let id = self.next_id;
+                self.next_id += 1;
+                self.sessions.push(Session {
+                    id,
+                    object,
+                    fragments_consumed: 0,
+                    start_disk: start,
+                    glitches: 0,
+                    buffer: BufferTracker::new(),
+                    paused: false,
+                });
+                Ok(StreamHandle(id))
+            }
+            reject @ AdmissionDecision::Reject { .. } => {
+                self.rejected += 1;
+                Err(reject)
+            }
+        }
+    }
+
+    /// Enqueue a stream request instead of rejecting it: §1's alternative
+    /// ("the request is turned away or postponed until one or more active
+    /// streams terminate"). If capacity is free the stream opens
+    /// immediately (the returned handle is Some); otherwise it waits in
+    /// FIFO order and is admitted by [`Self::run_round`] as capacity
+    /// frees.
+    pub fn enqueue_stream(&mut self, object: ObjectSpec) -> Option<StreamHandle> {
+        match self.open_stream(object.clone()) {
+            Ok(h) => Some(h),
+            Err(_) => {
+                // open_stream counted a rejection; reclassify as queued.
+                self.rejected -= 1;
+                let id = self.next_id;
+                self.next_id += 1;
+                self.waiting.push_back((id, object));
+                None
+            }
+        }
+    }
+
+    /// Number of stream requests waiting for capacity.
+    #[must_use]
+    pub fn waiting_streams(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Admit as many waiting requests as capacity allows (FIFO). Called
+    /// automatically at the end of every round; public so callers can
+    /// trigger it after [`Self::close_stream`].
+    pub fn drain_wait_queue(&mut self) -> Vec<StreamHandle> {
+        let mut admitted = Vec::new();
+        while let Some((id, object)) = self.waiting.front().cloned() {
+            let load = self.per_disk_load();
+            match self.admission.decide(&load) {
+                AdmissionDecision::Admit => {
+                    self.waiting.pop_front();
+                    let start = load
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &l)| l)
+                        .map(|(d, _)| d as u32)
+                        .unwrap_or(0);
+                    self.sessions.push(Session {
+                        id,
+                        object,
+                        fragments_consumed: 0,
+                        start_disk: start,
+                        glitches: 0,
+                        buffer: BufferTracker::new(),
+                        paused: false,
+                    });
+                    admitted.push(StreamHandle(id));
+                }
+                AdmissionDecision::Reject { .. } => break,
+            }
+        }
+        admitted
+    }
+
+    /// Close a stream before it finishes (client hang-up). Its record goes
+    /// to [`Self::completed_streams`].
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownStream`] if the handle is not active.
+    pub fn close_stream(&mut self, handle: StreamHandle) -> Result<(), ServerError> {
+        let idx = self
+            .sessions
+            .iter()
+            .position(|s| s.id == handle.0)
+            .ok_or(ServerError::UnknownStream(handle.0))?;
+        let s = self.sessions.swap_remove(idx);
+        self.completed.push(CompletedStream {
+            id: s.id,
+            object: s.object.name.clone(),
+            rounds_played: s.fragments_consumed,
+            glitches: s.glitches,
+            buffer_high_water: s.buffer.high_water(),
+        });
+        Ok(())
+    }
+
+    /// Glitches suffered so far by an active stream.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownStream`] if the handle is not active.
+    pub fn stream_glitches(&self, handle: StreamHandle) -> Result<u64, ServerError> {
+        self.sessions
+            .iter()
+            .find(|s| s.id == handle.0)
+            .map(|s| s.glitches)
+            .ok_or(ServerError::UnknownStream(handle.0))
+    }
+
+    /// Update the workload statistics behind admission control and
+    /// recompute the per-disk limit (§5: "the table has to be updated by
+    /// re-evaluating the analytic model only if the disk configuration or
+    /// general data characteristics change"). Already-admitted streams
+    /// are not evicted; if the new limit is lower, admission simply stays
+    /// closed until enough streams finish.
+    ///
+    /// # Errors
+    /// Propagates model-construction errors for invalid moments.
+    pub fn reconfigure_workload(
+        &mut self,
+        size_mean: f64,
+        size_variance: f64,
+    ) -> Result<(), ServerError> {
+        let mut cfg = self.cfg.clone();
+        cfg.admission_size_mean = size_mean;
+        cfg.admission_size_variance = size_variance;
+        let model = cfg.model()?;
+        self.admission.retarget(&model)?;
+        self.cfg = cfg;
+        Ok(())
+    }
+
+    /// Pause an active stream (VCR pause): it requests no fragments but
+    /// keeps its admission reservation, so [`Self::resume_stream`] always
+    /// succeeds. Idempotent.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownStream`] if the handle is not active.
+    pub fn pause_stream(&mut self, handle: StreamHandle) -> Result<(), ServerError> {
+        let s = self
+            .sessions
+            .iter_mut()
+            .find(|s| s.id == handle.id())
+            .ok_or(ServerError::UnknownStream(handle.id()))?;
+        s.paused = true;
+        Ok(())
+    }
+
+    /// Resume a paused stream from where it stopped. Idempotent.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownStream`] if the handle is not active.
+    pub fn resume_stream(&mut self, handle: StreamHandle) -> Result<(), ServerError> {
+        let s = self
+            .sessions
+            .iter_mut()
+            .find(|s| s.id == handle.id())
+            .ok_or(ServerError::UnknownStream(handle.id()))?;
+        s.paused = false;
+        Ok(())
+    }
+
+    /// Whether a stream is currently paused.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownStream`] if the handle is not active.
+    pub fn is_paused(&self, handle: StreamHandle) -> Result<bool, ServerError> {
+        self.sessions
+            .iter()
+            .find(|s| s.id == handle.id())
+            .map(|s| s.paused)
+            .ok_or(ServerError::UnknownStream(handle.id()))
+    }
+
+    /// Advance one global round: serve every active stream's next fragment
+    /// on its disk, account glitches and buffers, retire finished streams.
+    pub fn run_round(&mut self) -> RoundReport {
+        // Partition sessions over disks for this round.
+        for b in &mut self.batch {
+            b.clear();
+        }
+        for b in &mut self.batch_sizes {
+            b.clear();
+        }
+        for (i, s) in self.sessions.iter().enumerate() {
+            if s.paused {
+                continue;
+            }
+            let d = self
+                .layout
+                .disk_of_fragment(s.start_disk, s.fragments_consumed) as usize;
+            self.batch[d].push(i);
+            self.batch_sizes[d].push(s.object.sizes.sample(&mut self.rng));
+        }
+
+        let mut disk_summaries = Vec::with_capacity(self.disks.len());
+        let mut glitched_ids = Vec::new();
+        for (d, sim) in self.disks.iter_mut().enumerate() {
+            let sizes = &self.batch_sizes[d];
+            let out = sim.run_round_sized(sizes);
+            disk_summaries.push(DiskRoundSummary {
+                disk: d as u32,
+                requests: sizes.len() as u32,
+                service_time: out.service_time,
+                late: out.late,
+            });
+            for &slot in &out.glitched_streams {
+                let session_idx = self.batch[d][slot as usize];
+                self.sessions[session_idx].glitches += 1;
+                glitched_ids.push(self.sessions[session_idx].id);
+            }
+            // Deliveries: every request of the batch fills its client's
+            // buffer for the next round.
+            for (slot, &session_idx) in self.batch[d].iter().enumerate() {
+                let s = &mut self.sessions[session_idx];
+                s.buffer.deliver(sizes[slot]);
+            }
+        }
+
+        // Advance sessions; retire the finished.
+        let mut completed_ids = Vec::new();
+        let mut i = 0;
+        while i < self.sessions.len() {
+            let s = &mut self.sessions[i];
+            if s.paused {
+                i += 1;
+                continue;
+            }
+            s.buffer.advance_round();
+            s.fragments_consumed += 1;
+            if s.fragments_consumed >= s.object.rounds {
+                let s = self.sessions.swap_remove(i);
+                completed_ids.push(s.id);
+                self.completed.push(CompletedStream {
+                    id: s.id,
+                    object: s.object.name.clone(),
+                    rounds_played: s.fragments_consumed,
+                    glitches: s.glitches,
+                    buffer_high_water: s.buffer.high_water(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        self.rounds_run += 1;
+        // Capacity freed by completions goes to waiting requests (§1:
+        // postponed admissions resume when streams terminate).
+        let newly_admitted = self.drain_wait_queue();
+        RoundReport {
+            round: self.rounds_run - 1,
+            disks: disk_summaries,
+            glitched_streams: glitched_ids,
+            completed_streams: completed_ids,
+            admitted_from_queue: newly_admitted.iter().map(StreamHandle::id).collect(),
+        }
+    }
+
+    /// Run `rounds` rounds, returning only the aggregate glitch count (for
+    /// long batch runs where per-round reports would be noise).
+    pub fn run_rounds(&mut self, rounds: u64) -> u64 {
+        let mut glitches = 0;
+        for _ in 0..rounds {
+            glitches += self.run_round().glitched_streams.len() as u64;
+        }
+        glitches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(disks: u32, seed: u64) -> VideoServer {
+        VideoServer::new(ServerConfig::paper_reference(disks).unwrap(), seed).unwrap()
+    }
+
+    fn short_object(rounds: u32) -> ObjectSpec {
+        ObjectSpec::new("test", SizeDistribution::paper_default(), rounds).unwrap()
+    }
+
+    #[test]
+    fn admits_up_to_per_disk_limit_times_disks() {
+        let mut s = server(2, 1);
+        let limit = s.admission().per_disk_limit(); // 28 for the paper target
+        assert_eq!(limit, 28);
+        let mut admitted = 0;
+        loop {
+            match s.open_stream(short_object(100)) {
+                Ok(_) => admitted += 1,
+                Err(AdmissionDecision::Reject { per_disk_limit }) => {
+                    assert_eq!(per_disk_limit, 28);
+                    break;
+                }
+                Err(AdmissionDecision::Admit) => unreachable!(),
+            }
+        }
+        assert_eq!(admitted, 2 * limit);
+        assert_eq!(s.active_streams(), admitted as usize);
+        assert_eq!(s.rejected_streams(), 1);
+    }
+
+    #[test]
+    fn per_disk_load_stays_balanced() {
+        let mut s = server(4, 2);
+        for _ in 0..20 {
+            s.open_stream(short_object(50)).unwrap();
+        }
+        for _ in 0..10 {
+            let load = s.per_disk_load();
+            let max = *load.iter().max().unwrap();
+            let min = *load.iter().min().unwrap();
+            assert!(max - min <= 1, "unbalanced load {load:?}");
+            s.run_round();
+        }
+    }
+
+    #[test]
+    fn streams_complete_after_their_round_count() {
+        let mut s = server(2, 3);
+        let h = s.open_stream(short_object(5)).unwrap();
+        for r in 0..5 {
+            assert_eq!(s.active_streams(), 1, "round {r}");
+            let report = s.run_round();
+            if r == 4 {
+                assert_eq!(report.completed_streams, vec![h.id()]);
+            } else {
+                assert!(report.completed_streams.is_empty());
+            }
+        }
+        assert_eq!(s.active_streams(), 0);
+        let rec = &s.completed_streams()[0];
+        assert_eq!(rec.rounds_played, 5);
+        assert_eq!(rec.object, "test");
+        assert!(rec.buffer_high_water > 0.0);
+    }
+
+    #[test]
+    fn close_stream_retires_early() {
+        let mut s = server(1, 4);
+        let h = s.open_stream(short_object(100)).unwrap();
+        s.run_round();
+        assert_eq!(s.stream_glitches(h).unwrap(), 0);
+        s.close_stream(h).unwrap();
+        assert_eq!(s.active_streams(), 0);
+        assert_eq!(s.completed_streams()[0].rounds_played, 1);
+        // Double close / unknown stream.
+        assert_eq!(s.close_stream(h), Err(ServerError::UnknownStream(h.id())));
+        assert!(s.stream_glitches(h).is_err());
+    }
+
+    #[test]
+    fn admitted_load_rarely_glitches() {
+        // At the admission limit, the per-stream glitch rate must be low
+        // (that is the whole guarantee). Run 200 rounds at full admission
+        // on one disk and check the total glitch count stays far below one
+        // per stream per 100 rounds.
+        let mut s = server(1, 5);
+        while s.open_stream(short_object(10_000)).is_ok() {}
+        let n = s.active_streams() as u64;
+        assert_eq!(n, 28);
+        let glitches = s.run_rounds(200);
+        // 28 streams × 200 rounds = 5600 stream-rounds; the model bounds
+        // the per-round glitch probability near 1–2% at N = 28 and the
+        // simulated rate is ~0.1% (Figure 1), so < 3% here is generous.
+        assert!(
+            glitches < 168,
+            "glitches {glitches} out of 5600 stream-rounds"
+        );
+    }
+
+    #[test]
+    fn overloaded_server_would_glitch_hence_rejection_matters() {
+        // Force a config with a vacuous target to show the machinery: a
+        // loose delta admits more streams and they do glitch.
+        let mut cfg = ServerConfig::paper_reference(1).unwrap();
+        cfg.target = QualityTarget::RoundOverrun { delta: 1.0 };
+        let mut s = VideoServer::new(cfg, 6).unwrap();
+        let limit = s.admission().per_disk_limit();
+        assert!(limit > 40, "vacuous target admits a lot, got {limit}");
+        for _ in 0..40 {
+            let _ = s.open_stream(short_object(1000));
+        }
+        let glitches = s.run_rounds(50);
+        assert!(glitches > 0, "40 streams on one Viking must glitch");
+    }
+
+    #[test]
+    fn reports_are_structurally_sound() {
+        let mut s = server(3, 7);
+        for _ in 0..9 {
+            s.open_stream(short_object(100)).unwrap();
+        }
+        let report = s.run_round();
+        assert_eq!(report.round, 0);
+        assert_eq!(report.disks.len(), 3);
+        let total: u32 = report.disks.iter().map(|d| d.requests).sum();
+        assert_eq!(total, 9);
+        for d in &report.disks {
+            assert!(d.service_time >= 0.0);
+            assert!(!d.late || d.service_time > s.config().round_length);
+        }
+        assert_eq!(s.rounds_run(), 1);
+    }
+
+    #[test]
+    fn wait_queue_admits_in_fifo_order_as_capacity_frees() {
+        let mut s = server(1, 15);
+        // Fill with 5-round objects.
+        while s.open_stream(short_object(5)).is_ok() {}
+        let limit = s.admission().per_disk_limit();
+        assert_eq!(s.active_streams(), limit as usize);
+        // Queue three more.
+        assert!(s.enqueue_stream(short_object(5)).is_none());
+        assert!(s.enqueue_stream(short_object(5)).is_none());
+        assert!(s.enqueue_stream(short_object(5)).is_none());
+        assert_eq!(s.waiting_streams(), 3);
+        assert_eq!(s.rejected_streams(), 1); // only the fill loop's probe
+                                             // After the first batch finishes (5 rounds), all three enter.
+        let mut admitted_total = 0;
+        for _ in 0..5 {
+            let report = s.run_round();
+            admitted_total += report.admitted_from_queue.len();
+        }
+        assert_eq!(admitted_total, 3);
+        assert_eq!(s.waiting_streams(), 0);
+        assert_eq!(s.active_streams(), 3);
+    }
+
+    #[test]
+    fn enqueue_with_capacity_opens_immediately() {
+        let mut s = server(2, 16);
+        let h = s.enqueue_stream(short_object(10));
+        assert!(h.is_some());
+        assert_eq!(s.waiting_streams(), 0);
+        assert_eq!(s.active_streams(), 1);
+    }
+
+    #[test]
+    fn drain_after_close_stream() {
+        let mut s = server(1, 17);
+        let mut first = None;
+        while let Ok(h) = s.open_stream(short_object(100)) {
+            first.get_or_insert(h);
+        }
+        assert!(s.enqueue_stream(short_object(100)).is_none());
+        s.close_stream(first.unwrap()).unwrap();
+        let admitted = s.drain_wait_queue();
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(s.waiting_streams(), 0);
+    }
+
+    #[test]
+    fn pause_holds_position_and_reservation() {
+        let mut s = server(1, 11);
+        let h = s.open_stream(short_object(10)).unwrap();
+        s.run_round();
+        s.run_round();
+        s.pause_stream(h).unwrap();
+        assert!(s.is_paused(h).unwrap());
+        // Paused rounds do not consume fragments.
+        for _ in 0..5 {
+            let report = s.run_round();
+            assert!(report.completed_streams.is_empty());
+            let served: u32 = report.disks.iter().map(|d| d.requests).sum();
+            assert_eq!(served, 0);
+        }
+        s.resume_stream(h).unwrap();
+        assert!(!s.is_paused(h).unwrap());
+        // 8 fragments remain.
+        for r in 0..8 {
+            assert_eq!(s.active_streams(), 1, "round {r}");
+            s.run_round();
+        }
+        assert_eq!(s.active_streams(), 0);
+        assert_eq!(s.completed_streams()[0].rounds_played, 10);
+        // Unknown handles error.
+        assert!(s.pause_stream(h).is_err());
+        assert!(s.resume_stream(h).is_err());
+        assert!(s.is_paused(h).is_err());
+    }
+
+    #[test]
+    fn paused_streams_still_block_admission() {
+        let mut s = server(1, 12);
+        let mut handles = Vec::new();
+        while let Ok(h) = s.open_stream(short_object(100)) {
+            handles.push(h);
+        }
+        // Pause half the house: admission must stay closed (reservations
+        // are held for guaranteed resumption).
+        for h in handles.iter().take(handles.len() / 2) {
+            s.pause_stream(*h).unwrap();
+        }
+        assert!(s.open_stream(short_object(100)).is_err());
+    }
+
+    #[test]
+    fn reconfigure_workload_moves_the_limit_without_evicting() {
+        let mut s = server(1, 9);
+        let before = s.admission().per_disk_limit();
+        for _ in 0..before {
+            s.open_stream(short_object(100)).unwrap();
+        }
+        // Heavier fragments → lower limit; active streams stay.
+        s.reconfigure_workload(400_000.0, 4e10).unwrap();
+        let after = s.admission().per_disk_limit();
+        assert!(after < before, "limit {after} not below {before}");
+        assert_eq!(s.active_streams(), before as usize);
+        // Admission is closed while over the new limit.
+        assert!(s.open_stream(short_object(100)).is_err());
+        // Lighter fragments → higher limit, admission reopens.
+        s.reconfigure_workload(50_000.0, 2.5e9).unwrap();
+        assert!(s.admission().per_disk_limit() > before);
+        assert!(s.open_stream(short_object(100)).is_ok());
+        // Invalid moments rejected, state unchanged.
+        assert!(s.reconfigure_workload(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_disk_config_rejected() {
+        assert!(ServerConfig::paper_reference(0).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = server(2, 42);
+        let mut b = server(2, 42);
+        for _ in 0..10 {
+            a.open_stream(short_object(50)).unwrap();
+            b.open_stream(short_object(50)).unwrap();
+        }
+        for _ in 0..20 {
+            let ra = a.run_round();
+            let rb = b.run_round();
+            assert_eq!(ra, rb);
+        }
+    }
+}

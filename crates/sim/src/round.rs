@@ -1,0 +1,722 @@
+//! Single-round mechanics: request generation, sweep ordering and
+//! completion times.
+//!
+//! A round serves one request per active stream. Requests are placed
+//! uniformly over the disk's *capacity* (outer zones proportionally more
+//! likely, eq. 3.2.1), sorted into SCAN order, and served with
+//!
+//! ```text
+//! completion_i = completion_{i−1} + seek(gap_i) + rot_i + bytes_i / rate(zone_i)
+//! ```
+//!
+//! where `rot_i ~ U(0, ROT)` and the arm alternates sweep direction
+//! between rounds (elevator). A stream glitches when its request completes
+//! after the round deadline.
+
+use crate::SimError;
+use mzd_disk::placement::PlacementPolicy;
+use mzd_disk::scan::SweepDirection;
+use mzd_disk::Disk;
+use mzd_workload::SizeDistribution;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Disk-arm scheduling policy within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeekPolicy {
+    /// SCAN (elevator): serve in cylinder order, alternating direction
+    /// per round — the paper's policy (§2.3).
+    #[default]
+    Scan,
+    /// First-come-first-served in arrival (stream) order with independent
+    /// seeks — the baseline assumed by the related work the paper improves
+    /// on ([CZ94], [CL96]).
+    Fcfs,
+}
+
+/// What happens to requests still unserved at the round deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverrunPolicy {
+    /// The round runs to completion; late streams glitch but the next
+    /// round starts on schedule (server-push with per-round deadlines —
+    /// the paper's model, where rounds are independent).
+    #[default]
+    CompleteAll,
+    /// The sweep is aborted at the deadline: unserved requests glitch and
+    /// are dropped, and the arm stays where the deadline caught it.
+    AbortAtDeadline,
+}
+
+/// Configuration of a per-disk round simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The disk being simulated.
+    pub disk: Disk,
+    /// Fragment-size law (per stream per round, i.i.d.).
+    pub sizes: SizeDistribution,
+    /// Round length `t`, seconds.
+    pub round_length: f64,
+    /// Arm scheduling policy.
+    pub seek_policy: SeekPolicy,
+    /// Deadline-overrun handling.
+    pub overrun: OverrunPolicy,
+    /// Where fragments live on the disk.
+    pub placement: PlacementPolicy,
+    /// Optional thermal-recalibration model (\[RW94\]: drives of the era
+    /// paused for tens to hundreds of milliseconds every few tens of
+    /// seconds to re-measure head alignment — a classic hazard for
+    /// real-time service that AV-rated drives suppressed).
+    pub recalibration: Option<Recalibration>,
+}
+
+/// Thermal-recalibration behaviour: every round, with probability
+/// `1/mean_interval_rounds`, the disk stalls for `duration` seconds
+/// before serving its sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recalibration {
+    /// Mean rounds between recalibrations (geometric).
+    pub mean_interval_rounds: f64,
+    /// Stall duration, seconds.
+    pub duration: f64,
+}
+
+impl SimConfig {
+    /// The paper's §4 validation setup: Quantum Viking 2.1, Gamma
+    /// (200 KB, (100 KB)²) fragments, 1-second rounds, SCAN.
+    ///
+    /// # Errors
+    /// Never in practice; propagated for uniformity.
+    pub fn paper_reference() -> Result<Self, SimError> {
+        let disk = mzd_disk::profiles::quantum_viking_2_1()
+            .build()
+            .map_err(|e| SimError::Invalid(e.to_string()))?;
+        Ok(Self {
+            disk,
+            sizes: SizeDistribution::paper_default(),
+            round_length: 1.0,
+            seek_policy: SeekPolicy::Scan,
+            overrun: OverrunPolicy::CompleteAll,
+            placement: PlacementPolicy::UniformByCapacity,
+            recalibration: None,
+        })
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// [`SimError::Invalid`] for a non-positive round length.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.round_length > 0.0) || !self.round_length.is_finite() {
+            return Err(SimError::Invalid(format!(
+                "round length must be positive, got {}",
+                self.round_length
+            )));
+        }
+        self.placement
+            .validate(&self.disk)
+            .map_err(|e| SimError::Invalid(e.to_string()))?;
+        if let Some(r) = self.recalibration {
+            if !(r.mean_interval_rounds >= 1.0) || !(r.duration >= 0.0) || !r.duration.is_finite() {
+                return Err(SimError::Invalid(format!(
+                    "recalibration needs interval >= 1 round and duration >= 0,                      got interval {} and duration {}",
+                    r.mean_interval_rounds, r.duration
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One request within a round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Request {
+    /// Index of the stream this request belongs to (0-based within the
+    /// round's stream set).
+    stream: u32,
+    /// Target cylinder.
+    cylinder: u32,
+    /// Zone of the target cylinder (cached).
+    zone: usize,
+    /// Fragment size, bytes.
+    bytes: f64,
+    /// Rotational latency drawn for this request, seconds.
+    rotational: f64,
+}
+
+/// Outcome of one simulated round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Total service time of the round's sweep, seconds (the simulated
+    /// `T_N` of eq. 3.1.1).
+    pub service_time: f64,
+    /// Whether the round overran the deadline (`service_time > t`).
+    pub late: bool,
+    /// Stream indices (0-based) whose requests completed *after* the
+    /// deadline — the glitched streams of this round.
+    pub glitched_streams: Vec<u32>,
+    /// Decomposition: total seek time of the sweep.
+    pub seek_time: f64,
+    /// Decomposition: total rotational latency.
+    pub rotational_time: f64,
+    /// Decomposition: total transfer time.
+    pub transfer_time: f64,
+    /// Decomposition: thermal-recalibration stall, if one fired this
+    /// round (0 otherwise).
+    pub stall_time: f64,
+}
+
+/// Outcome of the discrete best-effort phase of a mixed round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteOutcome {
+    /// Discrete requests completed within the round.
+    pub served: usize,
+    /// Time spent on them, seconds.
+    pub time_used: f64,
+}
+
+/// Simulates successive rounds on one disk for a fixed stream count.
+///
+/// Holds the arm state (position + sweep direction) across rounds; the
+/// RNG is owned so runs are reproducible from the seed.
+///
+/// ```
+/// use mzd_sim::{RoundSimulator, SimConfig};
+/// let mut sim = RoundSimulator::new(SimConfig::paper_reference().unwrap(), 42).unwrap();
+/// let outcome = sim.run_round(27);
+/// // A typical N = 27 round takes ~0.8 s of the 1 s budget.
+/// assert!(outcome.service_time > 0.4 && outcome.service_time < 1.3);
+/// ```
+#[derive(Debug)]
+pub struct RoundSimulator {
+    cfg: SimConfig,
+    rng: StdRng,
+    arm_position: u32,
+    direction: SweepDirection,
+    /// Per-zone selection weights under the configured placement.
+    zone_cdf: Vec<f64>,
+    /// Scratch buffer reused across rounds.
+    requests: Vec<Request>,
+}
+
+impl RoundSimulator {
+    /// Create a simulator with the given seed.
+    ///
+    /// # Errors
+    /// Propagates configuration validation.
+    pub fn new(cfg: SimConfig, seed: u64) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let zone_cdf = cfg
+            .placement
+            .zone_weights(&cfg.disk)
+            .map_err(|e| SimError::Invalid(e.to_string()))?;
+        Ok(Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            arm_position: 0,
+            direction: SweepDirection::Up,
+            zone_cdf,
+            requests: Vec::new(),
+        })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Simulate one round serving `n` streams (stream indices `0..n`),
+    /// with fragment sizes drawn i.i.d. from the configured law.
+    pub fn run_round(&mut self, n: u32) -> RoundOutcome {
+        self.generate_requests(n);
+        match self.cfg.seek_policy {
+            SeekPolicy::Scan => self.order_scan(),
+            SeekPolicy::Fcfs => {} // arrival order = stream order
+        }
+        self.serve_ordered()
+    }
+
+    /// Simulate one round with caller-provided fragment sizes (bytes):
+    /// stream `i` requests `sizes[i]`. Placement and rotational latency
+    /// are still drawn by the simulator. Used by the server layer, where
+    /// each stream has its own object and size law.
+    pub fn run_round_sized(&mut self, sizes: &[f64]) -> RoundOutcome {
+        self.requests.clear();
+        let rot = self.cfg.disk.rotation_time();
+        for (stream, &bytes) in sizes.iter().enumerate() {
+            let (cylinder, zone) = self.place();
+            let rotational = self.rng.random_range(0.0..rot);
+            self.requests.push(Request {
+                stream: stream as u32,
+                cylinder,
+                zone,
+                bytes,
+                rotational,
+            });
+        }
+        match self.cfg.seek_policy {
+            SeekPolicy::Scan => self.order_scan(),
+            SeekPolicy::Fcfs => {}
+        }
+        self.serve_ordered()
+    }
+
+    /// Draw one placement under the configured policy: a zone by the
+    /// policy's weights, then a cylinder uniform within the zone.
+    fn place(&mut self) -> (u32, usize) {
+        let u: f64 = self.rng.random();
+        let zone = {
+            let target = u.clamp(0.0, 1.0);
+            let mut acc = 0.0;
+            let mut chosen = self.zone_cdf.len() - 1;
+            for (i, &w) in self.zone_cdf.iter().enumerate() {
+                acc += w;
+                if target < acc {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let first = self.cfg.disk.zone_first_cylinder(zone);
+        let count = self.cfg.disk.zone_cylinder_count(zone);
+        let cyl = first + self.rng.random_range(0..count);
+        (cyl, zone)
+    }
+
+    fn generate_requests(&mut self, n: u32) {
+        self.requests.clear();
+        let rot = self.cfg.disk.rotation_time();
+        for stream in 0..n {
+            let (cylinder, zone) = self.place();
+            let bytes = self.cfg.sizes.sample(&mut self.rng);
+            let rotational = self.rng.random_range(0.0..rot);
+            self.requests.push(Request {
+                stream,
+                cylinder,
+                zone,
+                bytes,
+                rotational,
+            });
+        }
+    }
+
+    /// Serve one round of `n` continuous streams, then as many of the
+    /// `discrete` requests (FCFS, given sizes in bytes) as *complete*
+    /// within the remaining round time — the mixed-workload discipline of
+    /// the paper's §6 outlook: continuous requests keep priority, discrete
+    /// requests are served best-effort in the slack.
+    ///
+    /// Returns the continuous outcome plus the number of discrete requests
+    /// served and the time they consumed.
+    pub fn run_round_with_discrete(
+        &mut self,
+        n: u32,
+        discrete: &[f64],
+    ) -> (RoundOutcome, DiscreteOutcome) {
+        let outcome = self.run_round(n);
+        let extra = self.serve_extras(outcome.service_time, discrete);
+        (outcome, extra)
+    }
+
+    /// Like [`Self::run_round_with_discrete`] but with caller-provided
+    /// sizes for the priority batch too — the work-ahead prefetching
+    /// discipline uses this (mandatory fetches in the SCAN sweep,
+    /// prefetches best-effort in the slack).
+    pub fn run_round_sized_with_extras(
+        &mut self,
+        sizes: &[f64],
+        extras: &[f64],
+    ) -> (RoundOutcome, DiscreteOutcome) {
+        let outcome = self.run_round_sized(sizes);
+        let extra = self.serve_extras(outcome.service_time, extras);
+        (outcome, extra)
+    }
+
+    /// Serve `extras` FCFS from the current arm position for as long as
+    /// each request still completes before the deadline.
+    fn serve_extras(&mut self, start_clock: f64, extras: &[f64]) -> DiscreteOutcome {
+        let deadline = self.cfg.round_length;
+        let mut clock = start_clock;
+        let mut served = 0usize;
+        let mut time_used = 0.0;
+        let rot = self.cfg.disk.rotation_time();
+        for &bytes in extras {
+            if clock >= deadline {
+                break;
+            }
+            // Cost the request before committing: the scheduler knows the
+            // target position and can bound the service time.
+            let (cylinder, zone) = self.place();
+            let seek = self
+                .cfg
+                .disk
+                .seek_curve()
+                .seek_time_cyl(self.arm_position.abs_diff(cylinder));
+            let rotational = self.rng.random_range(0.0..rot);
+            let cost = seek + rotational + self.cfg.disk.transfer_time(zone, bytes);
+            if clock + cost > deadline {
+                break;
+            }
+            clock += cost;
+            time_used += cost;
+            served += 1;
+            self.arm_position = cylinder;
+        }
+        DiscreteOutcome { served, time_used }
+    }
+
+    fn order_scan(&mut self) {
+        match self.direction {
+            SweepDirection::Up => self.requests.sort_by_key(|r| r.cylinder),
+            SweepDirection::Down => {
+                self.requests.sort_by_key(|r| std::cmp::Reverse(r.cylinder));
+            }
+        }
+    }
+
+    fn serve_ordered(&mut self) -> RoundOutcome {
+        let stall = match self.cfg.recalibration {
+            Some(r) if self.rng.random::<f64>() < 1.0 / r.mean_interval_rounds => r.duration,
+            _ => 0.0,
+        };
+        let disk = &self.cfg.disk;
+        let curve = disk.seek_curve();
+        let deadline = self.cfg.round_length;
+        let mut clock = stall;
+        let mut seek_total = 0.0;
+        let mut rot_total = 0.0;
+        let mut trans_total = 0.0;
+        let mut glitched = Vec::new();
+        let mut pos = self.arm_position;
+        for req in &self.requests {
+            if self.cfg.overrun == OverrunPolicy::AbortAtDeadline && clock > deadline {
+                glitched.push(req.stream);
+                continue;
+            }
+            let dist = pos.abs_diff(req.cylinder);
+            let seek = curve.seek_time_cyl(dist);
+            let transfer = disk.transfer_time(req.zone, req.bytes);
+            clock += seek + req.rotational + transfer;
+            seek_total += seek;
+            rot_total += req.rotational;
+            trans_total += transfer;
+            pos = req.cylinder;
+            if clock > deadline {
+                glitched.push(req.stream);
+            }
+        }
+        self.arm_position = pos;
+        self.direction = self.direction.reversed();
+        RoundOutcome {
+            service_time: clock,
+            late: clock > deadline,
+            glitched_streams: glitched,
+            seek_time: seek_total,
+            rotational_time: rot_total,
+            transfer_time: trans_total,
+            stall_time: stall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mzd_disk::oyang;
+
+    fn sim(seed: u64) -> RoundSimulator {
+        RoundSimulator::new(SimConfig::paper_reference().unwrap(), seed).unwrap()
+    }
+
+    #[test]
+    fn empty_round_is_instant() {
+        let mut s = sim(1);
+        let out = s.run_round(0);
+        assert_eq!(out.service_time, 0.0);
+        assert!(!out.late);
+        assert!(out.glitched_streams.is_empty());
+    }
+
+    #[test]
+    fn decomposition_sums_to_service_time() {
+        let mut s = sim(2);
+        for _ in 0..50 {
+            let out = s.run_round(27);
+            let sum = out.seek_time + out.rotational_time + out.transfer_time + out.stall_time;
+            assert!((out.service_time - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edge_start_sweep_never_exceeds_oyang_bound() {
+        // A monotone sweep starting at the disk edge — the configuration
+        // Oyang's bound describes — must stay under the bound.
+        let disk = SimConfig::paper_reference().unwrap().disk;
+        for n in [1u32, 5, 15, 27, 40] {
+            let bound = oyang::seek_bound(disk.seek_curve(), disk.cylinders(), n);
+            for seed in 0..100 {
+                let mut s = sim(seed); // fresh simulator: arm at cylinder 0
+                let out = s.run_round(n);
+                assert!(
+                    out.seek_time <= bound + 1e-12,
+                    "n = {n}, seed = {seed}: sweep seek {} > bound {bound}",
+                    out.seek_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_sweep_seek_bounded_with_backtrack_slack() {
+        // In steady state the elevator's direction reversal can add one
+        // backtrack seek at the start of a sweep (the previous sweep ends
+        // at its extreme *request*, not at the disk edge). The excess over
+        // Oyang's idealized bound is at most one maximum seek, and the
+        // *mean* sweep seek stays well below the bound.
+        let mut s = sim(3);
+        let disk = s.config().disk.clone();
+        for n in [1u32, 5, 15, 27, 40] {
+            let bound = oyang::seek_bound(disk.seek_curve(), disk.cylinders(), n);
+            let slack = disk.seek_curve().max_seek_time(disk.cylinders());
+            let mut mean = 0.0;
+            let rounds = 300;
+            for _ in 0..rounds {
+                let out = s.run_round(n);
+                assert!(
+                    out.seek_time <= bound + slack + 1e-12,
+                    "n = {n}: sweep seek {} > bound {bound} + slack {slack}",
+                    out.seek_time
+                );
+                mean += out.seek_time;
+            }
+            mean /= f64::from(rounds);
+            assert!(
+                mean <= bound,
+                "n = {n}: mean sweep seek {mean} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotational_latencies_average_half_rot() {
+        let mut s = sim(4);
+        let mut acc = 0.0;
+        let rounds = 2000;
+        let n = 20u32;
+        for _ in 0..rounds {
+            acc += s.run_round(n).rotational_time;
+        }
+        let mean_per_request = acc / f64::from(rounds * n);
+        let expected = s.config().disk.rotation_time() / 2.0;
+        assert!(
+            (mean_per_request / expected - 1.0).abs() < 0.02,
+            "mean rot {mean_per_request} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn transfer_time_mean_matches_analytic_moment() {
+        let mut s = sim(5);
+        let disk = s.config().disk.clone();
+        let mut acc = 0.0;
+        let rounds = 3000;
+        let n = 20u32;
+        for _ in 0..rounds {
+            acc += s.run_round(n).transfer_time;
+        }
+        let mean = acc / f64::from(rounds * n);
+        let expected = 200_000.0 * disk.inverse_rate_moment(1);
+        assert!(
+            (mean / expected - 1.0).abs() < 0.02,
+            "mean transfer {mean} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn glitched_streams_match_lateness() {
+        let mut s = sim(6);
+        for _ in 0..200 {
+            let out = s.run_round(30);
+            if out.late {
+                assert!(!out.glitched_streams.is_empty());
+            } else {
+                assert!(out.glitched_streams.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = sim(42);
+        let mut b = sim(42);
+        for _ in 0..20 {
+            assert_eq!(a.run_round(25), b.run_round(25));
+        }
+    }
+
+    #[test]
+    fn fcfs_has_higher_mean_service_time_than_scan() {
+        let mut scan = sim(7);
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.seek_policy = SeekPolicy::Fcfs;
+        let mut fcfs = RoundSimulator::new(cfg, 7).unwrap();
+        let (mut t_scan, mut t_fcfs) = (0.0, 0.0);
+        for _ in 0..1000 {
+            t_scan += scan.run_round(27).service_time;
+            t_fcfs += fcfs.run_round(27).service_time;
+        }
+        assert!(
+            t_fcfs > t_scan * 1.05,
+            "FCFS {t_fcfs} not clearly slower than SCAN {t_scan}"
+        );
+    }
+
+    #[test]
+    fn abort_policy_caps_measured_work() {
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.overrun = OverrunPolicy::AbortAtDeadline;
+        // Overload grossly so the deadline always hits mid-sweep.
+        let mut s = RoundSimulator::new(cfg, 8).unwrap();
+        let out = s.run_round(200);
+        assert!(out.late);
+        assert!(!out.glitched_streams.is_empty());
+        // Service time stops within one request of the deadline.
+        assert!(out.service_time < 1.0 + 0.2);
+    }
+
+    #[test]
+    fn placement_respects_capacity_weighting() {
+        // Outer zones must receive proportionally more requests.
+        let mut s = sim(9);
+        let disk = s.config().disk.clone();
+        let mut counts = vec![0u64; disk.zone_count()];
+        let rounds = 3000;
+        let n = 20u32;
+        for _ in 0..rounds {
+            // Use the outcome indirectly: regenerate and inspect requests
+            // via the public API by tallying zone transfer times is
+            // convoluted; instead sample placements through run_round's
+            // effect on transfer means per zone. Simpler: trust place()
+            // via a statistical check on sampled cylinders.
+            s.generate_requests(n);
+            for r in &s.requests {
+                counts[r.zone] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        for (z, &c) in counts.iter().enumerate() {
+            let expected = disk.zones().zone_probability(z);
+            let observed = c as f64 / total as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "zone {z}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sized_round_uses_exactly_the_given_sizes() {
+        let mut s = sim(10);
+        let disk = s.config().disk.clone();
+        // One huge request alone: transfer time must be bytes / zone rate,
+        // bounded by the innermost and outermost rates.
+        let out = s.run_round_sized(&[10_000_000.0]);
+        assert!(out.transfer_time >= 10_000_000.0 / disk.max_rate() - 1e-9);
+        assert!(out.transfer_time <= 10_000_000.0 / disk.min_rate() + 1e-9);
+        // Size ordering carries through on average.
+        let mut small_total = 0.0;
+        let mut big_total = 0.0;
+        for _ in 0..300 {
+            small_total += s.run_round_sized(&[100_000.0; 10]).transfer_time;
+            big_total += s.run_round_sized(&[300_000.0; 10]).transfer_time;
+        }
+        assert!((big_total / small_total - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sized_round_glitch_indices_are_stream_slots() {
+        let mut s = sim(11);
+        // Grossly overload with 100 identical big requests: all glitched
+        // indices must be valid slots.
+        let sizes = vec![1_000_000.0; 100];
+        let out = s.run_round_sized(&sizes);
+        assert!(out.late);
+        for &g in &out.glitched_streams {
+            assert!((g as usize) < sizes.len());
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.round_length = 0.0;
+        assert!(RoundSimulator::new(cfg, 0).is_err());
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.recalibration = Some(Recalibration {
+            mean_interval_rounds: 0.5,
+            duration: 0.1,
+        });
+        assert!(RoundSimulator::new(cfg, 0).is_err());
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.recalibration = Some(Recalibration {
+            mean_interval_rounds: 30.0,
+            duration: f64::NAN,
+        });
+        assert!(RoundSimulator::new(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn recalibration_stalls_show_up_at_the_right_rate() {
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.recalibration = Some(Recalibration {
+            mean_interval_rounds: 20.0,
+            duration: 0.25,
+        });
+        let mut s = RoundSimulator::new(cfg, 12).unwrap();
+        let rounds = 4000;
+        let mut stalled = 0u32;
+        for _ in 0..rounds {
+            let out = s.run_round(10);
+            if out.stall_time > 0.0 {
+                assert_eq!(out.stall_time, 0.25);
+                stalled += 1;
+            }
+        }
+        let rate = f64::from(stalled) / f64::from(rounds);
+        assert!((rate - 0.05).abs() < 0.01, "stall rate {rate}");
+    }
+
+    #[test]
+    fn recalibration_erodes_the_guarantee() {
+        // At N = 26 the clean drive almost never overruns; a 250 ms
+        // recalibration every ~30 rounds pushes p_late to roughly the
+        // stall rate times the probability the stall tips the round over.
+        let clean = {
+            let mut s = sim(13);
+            let mut late = 0;
+            for _ in 0..3000 {
+                if s.run_round(26).late {
+                    late += 1;
+                }
+            }
+            late
+        };
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.recalibration = Some(Recalibration {
+            mean_interval_rounds: 30.0,
+            duration: 0.25,
+        });
+        let mut s = RoundSimulator::new(cfg, 13).unwrap();
+        let mut late = 0;
+        for _ in 0..3000 {
+            if s.run_round(26).late {
+                late += 1;
+            }
+        }
+        assert!(
+            late > clean + 20,
+            "recalibration late {late} vs clean {clean}"
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Fragment-size distributions.
+//!
+//! The analytic model only needs the first two moments of the fragment
+//! size (it moment-matches a Gamma transform, §3.1–3.2); the simulator
+//! draws actual sizes. [`SizeDistribution`] serves both: every variant
+//! reports exact moments and samples variates.
+
+use crate::WorkloadError;
+use mzd_numerics::rng::{Gamma, LogNormal, Pareto, Sample};
+use rand::Rng;
+
+/// The paper's default fragment-size mean: 200 KB (KB = 1000 bytes — the
+/// convention under which the paper's worked numbers reproduce exactly).
+pub const PAPER_MEAN_BYTES: f64 = 200_000.0;
+/// The paper's default fragment-size standard deviation: 100 KB.
+pub const PAPER_STD_DEV_BYTES: f64 = 100_000.0;
+
+/// A fragment-size law: sampleable, with exact first two moments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDistribution {
+    /// Gamma-distributed sizes (the paper's model for compressed video).
+    Gamma(Gamma),
+    /// Lognormal sizes (alternative heavy-tail noted in §3.1).
+    LogNormal(LogNormal),
+    /// Pareto sizes (alternative heavy-tail noted in §3.1).
+    Pareto(Pareto),
+    /// Constant size (the CBR assumption of most prior work).
+    Constant(f64),
+    /// Empirical sizes drawn uniformly from a recorded trace.
+    Empirical(EmpiricalSizes),
+}
+
+impl SizeDistribution {
+    /// The paper's reference workload: Gamma with mean 200 KB and standard
+    /// deviation 100 KB (Table 1).
+    ///
+    /// ```
+    /// let d = mzd_workload::SizeDistribution::paper_default();
+    /// assert_eq!(d.mean(), 200_000.0);
+    /// assert_eq!(d.variance(), 1e10);
+    /// ```
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::gamma(PAPER_MEAN_BYTES, PAPER_STD_DEV_BYTES * PAPER_STD_DEV_BYTES)
+            .expect("paper parameters are valid")
+    }
+
+    /// Gamma sizes with the given mean and variance (bytes, bytes²).
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] unless both are positive.
+    pub fn gamma(mean: f64, variance: f64) -> Result<Self, WorkloadError> {
+        Ok(Self::Gamma(Gamma::from_mean_variance(mean, variance)?))
+    }
+
+    /// Lognormal sizes with the given mean and variance.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] unless both are positive.
+    pub fn log_normal(mean: f64, variance: f64) -> Result<Self, WorkloadError> {
+        Ok(Self::LogNormal(LogNormal::from_mean_variance(
+            mean, variance,
+        )?))
+    }
+
+    /// Pareto sizes with the given mean and variance.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] unless both are positive.
+    pub fn pareto(mean: f64, variance: f64) -> Result<Self, WorkloadError> {
+        Ok(Self::Pareto(Pareto::from_mean_variance(mean, variance)?))
+    }
+
+    /// Constant size in bytes.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] unless positive.
+    pub fn constant(bytes: f64) -> Result<Self, WorkloadError> {
+        if !(bytes > 0.0) || !bytes.is_finite() {
+            return Err(WorkloadError::Invalid(format!(
+                "constant size must be positive, got {bytes}"
+            )));
+        }
+        Ok(Self::Constant(bytes))
+    }
+
+    /// Empirical sizes from a trace (sampled i.i.d. uniformly — matching
+    /// the paper's independence assumption across rounds and streams).
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] if the trace is empty or contains
+    /// non-positive sizes.
+    pub fn empirical(sizes: Vec<f64>) -> Result<Self, WorkloadError> {
+        Ok(Self::Empirical(EmpiricalSizes::new(sizes)?))
+    }
+
+    /// Empirical sizes backed by a recorded [`crate::Trace`].
+    ///
+    /// ```
+    /// use mzd_workload::{SizeDistribution, Trace};
+    /// let trace = Trace::new(vec![100.0, 200.0, 300.0], 1.0).unwrap();
+    /// let law = SizeDistribution::from_trace(&trace);
+    /// assert_eq!(law.mean(), 200.0);
+    /// ```
+    #[must_use]
+    pub fn from_trace(trace: &crate::Trace) -> Self {
+        Self::Empirical(
+            EmpiricalSizes::new(trace.sizes().to_vec())
+                .expect("a constructed Trace is non-empty and positive"),
+        )
+    }
+
+    /// Mean fragment size, bytes.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match self {
+            Self::Gamma(d) => d.mean(),
+            Self::LogNormal(d) => d.mean(),
+            Self::Pareto(d) => d.mean(),
+            Self::Constant(c) => *c,
+            Self::Empirical(e) => e.mean,
+        }
+    }
+
+    /// Fragment-size variance, bytes².
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        match self {
+            Self::Gamma(d) => d.variance(),
+            Self::LogNormal(d) => d.variance(),
+            Self::Pareto(d) => d.variance(),
+            Self::Constant(_) => 0.0,
+            Self::Empirical(e) => e.variance,
+        }
+    }
+
+    /// Second raw moment `E[S²] = Var[S] + E[S]²`.
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        let m = self.mean();
+        self.variance() + m * m
+    }
+
+    /// Draw one fragment size (always > 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Self::Gamma(d) => d.sample(rng),
+            Self::LogNormal(d) => d.sample(rng),
+            Self::Pareto(d) => d.sample(rng),
+            Self::Constant(c) => *c,
+            Self::Empirical(e) => e.sample(rng),
+        }
+    }
+
+    /// Quantile of the size law at `p ∈ [0, 1)` where analytically
+    /// available (`None` for empirical — use the trace directly — and for
+    /// lognormal, which the worst-case bound does not need).
+    ///
+    /// # Errors
+    /// Propagates numeric domain errors for out-of-range `p`.
+    pub fn quantile(&self, p: f64) -> Result<Option<f64>, WorkloadError> {
+        match self {
+            Self::Gamma(d) => Ok(Some(d.quantile(p)?)),
+            Self::Constant(c) => Ok(Some(*c)),
+            Self::Pareto(d) => {
+                if !(0.0..1.0).contains(&p) {
+                    return Err(WorkloadError::Invalid(format!(
+                        "quantile level must be in [0,1), got {p}"
+                    )));
+                }
+                Ok(Some(d.x_min() / (1.0 - p).powf(1.0 / d.alpha())))
+            }
+            Self::LogNormal(_) | Self::Empirical(_) => Ok(None),
+        }
+    }
+
+    /// Short human-readable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Gamma(_) => "gamma",
+            Self::LogNormal(_) => "lognormal",
+            Self::Pareto(_) => "pareto",
+            Self::Constant(_) => "constant",
+            Self::Empirical(_) => "empirical",
+        }
+    }
+}
+
+/// Empirical size law: i.i.d. uniform draws from a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalSizes {
+    sizes: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl EmpiricalSizes {
+    /// Build from recorded sizes.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] if empty or any size is non-positive.
+    pub fn new(sizes: Vec<f64>) -> Result<Self, WorkloadError> {
+        if sizes.is_empty() {
+            return Err(WorkloadError::Invalid("empirical trace is empty".into()));
+        }
+        if let Some(&bad) = sizes.iter().find(|&&s| !(s > 0.0) || !s.is_finite()) {
+            return Err(WorkloadError::Invalid(format!(
+                "empirical trace contains non-positive size {bad}"
+            )));
+        }
+        let mean = mzd_numerics::stats::mean(&sizes);
+        let variance = if sizes.len() > 1 {
+            mzd_numerics::stats::variance(&sizes)
+        } else {
+            0.0
+        };
+        Ok(Self {
+            sizes,
+            mean,
+            variance,
+        })
+    }
+
+    /// Number of recorded fragments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        use rand::RngExt as _;
+        self.sizes[rng.random_range(0..self.sizes.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_moments() {
+        let d = SizeDistribution::paper_default();
+        assert_eq!(d.mean(), 200_000.0);
+        assert_eq!(d.variance(), 1e10);
+        assert_eq!(d.second_moment(), 5e10);
+        assert_eq!(d.name(), "gamma");
+    }
+
+    #[test]
+    fn all_parametric_laws_match_requested_moments() {
+        for ctor in [
+            SizeDistribution::gamma as fn(f64, f64) -> Result<SizeDistribution, WorkloadError>,
+            SizeDistribution::log_normal,
+            SizeDistribution::pareto,
+        ] {
+            let d = ctor(200_000.0, 1e10).unwrap();
+            assert!((d.mean() - 200_000.0).abs() < 1e-3, "{}", d.name());
+            assert!((d.variance() / 1e10 - 1.0).abs() < 1e-9, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn constant_law() {
+        let d = SizeDistribution::constant(123_456.0).unwrap();
+        assert_eq!(d.mean(), 123_456.0);
+        assert_eq!(d.variance(), 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 123_456.0);
+        }
+        assert_eq!(d.quantile(0.99).unwrap(), Some(123_456.0));
+        assert!(SizeDistribution::constant(0.0).is_err());
+        assert!(SizeDistribution::constant(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empirical_law_stats_and_sampling() {
+        let d = SizeDistribution::empirical(vec![100.0, 200.0, 300.0]).unwrap();
+        assert_eq!(d.mean(), 200.0);
+        assert_eq!(d.variance(), 10_000.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            assert!([100.0, 200.0, 300.0].contains(&s));
+        }
+        assert!(SizeDistribution::empirical(vec![]).is_err());
+        assert!(SizeDistribution::empirical(vec![1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn gamma_quantile_matches_paper_worst_case_inputs() {
+        // 99th percentile of Gamma(mean 200 KB, sd 100 KB) ≈ 502.26 KB —
+        // the size behind the paper's T_trans^max = 71.7 ms.
+        let d = SizeDistribution::paper_default();
+        let q99 = d.quantile(0.99).unwrap().unwrap();
+        assert!((q99 - 502_255.9).abs() < 100.0, "q99 = {q99}");
+        let q95 = d.quantile(0.95).unwrap().unwrap();
+        assert!((q95 - 387_682.8).abs() < 100.0, "q95 = {q95}");
+    }
+
+    #[test]
+    fn pareto_quantile_closed_form() {
+        let d = SizeDistribution::pareto(200_000.0, 1e10).unwrap();
+        let q = d.quantile(0.5).unwrap().unwrap();
+        // Median must exceed x_min and be below the mean for a heavy tail.
+        assert!(q > 0.0 && q < d.mean());
+        assert!(d.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn lognormal_and_empirical_have_no_analytic_quantile() {
+        let d = SizeDistribution::log_normal(200_000.0, 1e10).unwrap();
+        assert_eq!(d.quantile(0.99).unwrap(), None);
+        let d = SizeDistribution::empirical(vec![1.0, 2.0]).unwrap();
+        assert_eq!(d.quantile(0.99).unwrap(), None);
+    }
+
+    #[test]
+    fn sampled_moments_match_reported_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for d in [
+            SizeDistribution::paper_default(),
+            SizeDistribution::log_normal(200_000.0, 1e10).unwrap(),
+        ] {
+            let mut s = mzd_numerics::stats::OnlineStats::new();
+            for _ in 0..200_000 {
+                s.push(d.sample(&mut rng));
+            }
+            assert!(
+                (s.mean() / d.mean() - 1.0).abs() < 0.01,
+                "{}: mean {}",
+                d.name(),
+                s.mean()
+            );
+            assert!(
+                (s.variance() / d.variance() - 1.0).abs() < 0.08,
+                "{}: var {}",
+                d.name(),
+                s.variance()
+            );
+        }
+    }
+}

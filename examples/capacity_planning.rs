@@ -1,0 +1,57 @@
+//! Capacity planning: choose a server configuration for a target client
+//! population.
+//!
+//! Sweeps disk count and round length, showing how many concurrent
+//! streams each configuration guarantees (per-stream glitch-rate target),
+//! what startup latency clients pay (one round), and the client buffer
+//! the round length implies — the operator's trade-off surface.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use mzd_core::{GuaranteeModel, ZoneHandling};
+use mzd_disk::profiles;
+
+fn main() {
+    let disk = profiles::quantum_viking_2_1()
+        .build()
+        .expect("valid profile");
+    // A 6 Mbit/s MPEG-2 service: 1 second of video ≈ 750 KB, bursty.
+    let mean = 750_000.0;
+    let sd = 300_000.0;
+    println!("target workload: ~6 Mbit/s VBR video (mean {mean} B/s, sd {sd} B/s)");
+    println!("quality target: <=1% glitched fragments per 20-minute stream @ 99%\n");
+
+    println!("round length sweep (single disk):");
+    println!("  t (s)   N_max/disk   client buffer (2x mean fragment)");
+    for t in [0.5, 1.0, 2.0, 4.0] {
+        // Fragment size scales with the round length (fixed display time).
+        let m = mean * t;
+        let v = sd * sd * t; // variance of a sum of ~t independent seconds
+        let model =
+            GuaranteeModel::new(disk.clone(), m, v, ZoneHandling::Discrete).expect("valid model");
+        let rounds_per_stream = (1200.0 / t) as u64;
+        let g = (rounds_per_stream / 100).max(1); // 1% of rounds
+        let n = model
+            .n_max_error(t, rounds_per_stream, g, 0.01)
+            .expect("valid search");
+        println!("  {t:>4.1}    {n:>6}        {:>8.2} MB", 2.0 * m / 1e6);
+    }
+
+    println!("\ndisk count sweep (t = 1 s):");
+    println!("  D     guaranteed streams   aggregate bandwidth");
+    let model =
+        GuaranteeModel::new(disk.clone(), mean, sd * sd, ZoneHandling::Discrete).expect("valid");
+    let per_disk = model.n_max_error(1.0, 1200, 12, 0.01).expect("valid");
+    for d in [1u32, 2, 4, 8, 16, 32] {
+        let total = per_disk * d;
+        println!(
+            "  {d:>2}    {total:>6}               {:>7.1} Mbit/s",
+            f64::from(total) * mean * 8.0 / 1e6
+        );
+    }
+
+    println!(
+        "\nfor a 500-client service: {} disks suffice",
+        500_u32.div_ceil(per_disk)
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: how many concurrent streams can a disk sustain with a
+//! stochastic service guarantee?
+//!
+//! Reproduces the paper's headline numbers on the Quantum Viking 2.1
+//! (Table 1) and contrasts them with the deterministic worst-case design.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mzd_core::{GuaranteeModel, WorstCaseRate};
+
+fn main() {
+    // The paper's reference setup: Quantum Viking 2.1, Gamma fragments
+    // with mean 200 KB and standard deviation 100 KB, 1-second rounds.
+    let model = GuaranteeModel::paper_reference().expect("reference model is valid");
+    let t = 1.0;
+
+    println!("disk: Quantum Viking 2.1 (Table 1 of the paper)");
+    println!(
+        "workload: Gamma fragments, mean {} KB, sd {} KB",
+        model.size_mean() / 1000.0,
+        model.size_variance().sqrt() / 1000.0
+    );
+    println!("round length: {t} s\n");
+
+    // 1. Per-round overrun probabilities around the admission knee.
+    println!("p_late bounds (probability a round overruns):");
+    for n in [24u32, 25, 26, 27, 28] {
+        let p = model.p_late_bound(n, t).expect("valid round length");
+        println!("  N = {n:2}   p_late <= {p:.5}");
+    }
+
+    // 2. Admission limits for three different guarantee styles.
+    let n_late = model.n_max_late(t, 0.01).expect("valid threshold");
+    println!("\nN_max with p_late <= 1%:                      {n_late} streams/disk");
+
+    let n_err = model
+        .n_max_error(t, 1200, 12, 0.01)
+        .expect("valid threshold");
+    println!("N_max with <=12 glitches in 1200 rounds @ 99%: {n_err} streams/disk");
+
+    let n_wc = model
+        .n_max_worst_case(t, 0.99, WorstCaseRate::Innermost)
+        .expect("valid percentile");
+    println!("N_max with a deterministic worst-case design:  {n_wc} streams/disk");
+
+    println!(
+        "\n=> the stochastic guarantee admits {:.1}x the worst-case design",
+        f64::from(n_err) / f64::from(n_wc)
+    );
+
+    // 3. The §5 lookup table an operator would precompute.
+    println!("\nadmission lookup table (per-round overrun tolerance -> N_max):");
+    let table = model
+        .admission_table_late(t, &[0.001, 0.005, 0.01, 0.05, 0.10])
+        .expect("valid thresholds");
+    for (delta, n_max) in table.rows() {
+        println!("  delta = {delta:>6.3}   N_max = {n_max}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Why modeling zones matters: the multi-zone model vs single-zone
+//! readings of the same drive, validated against simulation.
+//!
+//! Compares three analytic readings of the Quantum Viking 2.1 —
+//! (a) the exact multi-zone model (§3.2), (b) a single "mean rate"
+//! flattening (what a §3.1-era model would assume), and (c) the
+//! pessimistic innermost-rate flattening — against the simulated
+//! overrun probability on the true multi-zone drive.
+//!
+//! Run with: `cargo run --release --example zone_study`
+
+use mzd_core::{GuaranteeModel, ZoneHandling};
+use mzd_disk::profiles;
+use mzd_sim::{estimate_p_late, SimConfig};
+
+fn main() {
+    let profile = profiles::quantum_viking_2_1();
+    let multi = profile.build().expect("valid profile");
+    let pessimistic = profile
+        .pessimistic_single_zone()
+        .build()
+        .expect("valid profile");
+
+    let (mean, var) = (200_000.0, 1e10);
+    let exact =
+        GuaranteeModel::new(multi.clone(), mean, var, ZoneHandling::Discrete).expect("valid");
+    let flat =
+        GuaranteeModel::new(multi.clone(), mean, var, ZoneHandling::MeanRate).expect("valid");
+    let inner = GuaranteeModel::new(pessimistic, mean, var, ZoneHandling::Discrete).expect("valid");
+
+    let sim_cfg = SimConfig::paper_reference().expect("valid sim config");
+
+    println!("p_late on the Quantum Viking 2.1, t = 1 s:");
+    println!("  N    multi-zone   mean-rate    innermost    simulated (95% CI)");
+    for n in [24u32, 26, 28, 30] {
+        let a = exact.p_late_bound(n, 1.0).expect("valid");
+        let b = flat.p_late_bound(n, 1.0).expect("valid");
+        let c = inner.p_late_bound(n, 1.0).expect("valid");
+        let s = estimate_p_late(&sim_cfg, n, 20_000, 42 + u64::from(n)).expect("valid");
+        println!(
+            "  {n:2}   {a:>9.5}   {b:>9.5}   {c:>9.5}    {:>7.5} [{:.5}, {:.5}]",
+            s.p_late, s.ci.lo, s.ci.hi
+        );
+    }
+
+    println!("\nadmission limits (p_late <= 1%):");
+    let na = exact.n_max_late(1.0, 0.01).expect("valid");
+    let nb = flat.n_max_late(1.0, 0.01).expect("valid");
+    let nc = inner.n_max_late(1.0, 0.01).expect("valid");
+    println!("  multi-zone model (the paper):   N_max = {na}");
+    println!(
+        "  mean-rate flattening:           N_max = {nb}  (optimistic: ignores slow inner zones)"
+    );
+    println!(
+        "  innermost-rate flattening:      N_max = {nc}  (pessimistic: wastes outer-zone speed)"
+    );
+
+    println!(
+        "\nthe multi-zone model recovers {} stream(s) per disk over the \
+         pessimistic reading\nwhile staying conservative wrt the simulation \
+         (unlike the mean-rate flattening).",
+        na - nc
+    );
+}
