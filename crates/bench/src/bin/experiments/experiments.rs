@@ -3,7 +3,7 @@
 //! E6 = the eq. 4.1 worst case, E7 = the §3.2 approximation validation,
 //! E8 = the §5 admission lookup tables, A1–A3 = ablations.
 
-use crate::Budget;
+use mzd_bench::Budget;
 use mzd_core::transfer::TransferTimeModel;
 use mzd_core::{GuaranteeModel, RoundService, TransferTimeDensity, WorstCaseRate, ZoneHandling};
 use mzd_disk::profiles;
@@ -32,14 +32,14 @@ pub fn fig1(budget: Budget) {
     }
     println!(
         "\n{}",
-        crate::plot::log_chart(
+        mzd_bench::plot::log_chart(
             &[
-                crate::plot::Series {
+                mzd_bench::plot::Series {
                     label: "analytic bound",
                     marker: 'a',
                     points: analytic
                 },
-                crate::plot::Series {
+                mzd_bench::plot::Series {
                     label: "simulated",
                     marker: 's',
                     points: simulated

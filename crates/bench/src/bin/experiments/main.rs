@@ -7,7 +7,9 @@
 //!      ablate-zone ablate-scan ablate-dist all
 //! ```
 
-use mzd_bench::{experiments, Budget};
+use mzd_bench::Budget;
+
+mod experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,9 +1,12 @@
-//! Experiment harness: regenerates every table and figure of the paper's
-//! evaluation, plus the ablations described in DESIGN.md.
+//! Experiment harness support: the [`plot`] renderer and the simulation
+//! [`Budget`] shared by the `experiments` binary.
 //!
-//! Each submodule of [`experiments`] produces one artifact and prints it
-//! as an aligned text table with a `paper:` annotation where the paper
-//! reports a number. The `experiments` binary dispatches on experiment id:
+//! The experiment implementations themselves live inside the binary
+//! (`src/bin/experiments/`): they print finished reports to stdout, and
+//! library targets in this workspace are kept print-free (see the
+//! `no_prints_in_libraries` integration test). Each experiment produces
+//! one artifact as an aligned text table with a `paper:` annotation
+//! where the paper reports a number:
 //!
 //! ```text
 //! cargo run --release -p mzd-bench --bin experiments -- fig1
@@ -12,7 +15,6 @@
 
 #![warn(missing_docs)]
 
-pub mod experiments;
 pub mod plot;
 
 /// Simulation budget selector: `quick` divides round/batch budgets by ~10

@@ -70,7 +70,17 @@ common flags:
   --disk viking|single75|legacy|nextgen|synthetic2to1   (default viking)
   --mean BYTES   fragment-size mean        (default 200000)
   --sd BYTES     fragment-size std. dev.   (default 100000)
-  --round SECS   round length              (default 1.0)";
+  --round SECS   round length              (default 1.0)
+
+observability:
+  --metrics-out PATH   write a JSON metrics snapshot (counters, gauges,
+                       histogram quantiles) at exit
+  --events-out PATH    write per-round / per-admission events as JSONL
+  -v, --verbose        also stream events to stderr
+  -q, --quiet          suppress the normal report on stdout";
+
+/// Flags that take no value; presence means `true`.
+const BOOLEAN_FLAGS: [&str; 2] = ["verbose", "quiet"];
 
 /// Parse an argument vector (without the program name).
 ///
@@ -97,11 +107,22 @@ pub fn parse(args: &[String]) -> Result<Parsed, CliError> {
     };
     let mut flags = BTreeMap::new();
     while let Some(key) = it.next() {
-        let Some(name) = key.strip_prefix("--") else {
-            return Err(CliError::Usage(format!(
-                "expected a --flag, got `{key}`\n\n{USAGE}"
-            )));
+        let name = match key.as_str() {
+            "-v" => "verbose",
+            "-q" => "quiet",
+            other => match other.strip_prefix("--") {
+                Some(name) => name,
+                None => {
+                    return Err(CliError::Usage(format!(
+                        "expected a --flag, got `{key}`\n\n{USAGE}"
+                    )))
+                }
+            },
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(CliError::Usage(format!(
                 "flag --{name} is missing its value\n\n{USAGE}"
@@ -182,6 +203,18 @@ impl Parsed {
     #[must_use]
     pub fn has(&self, name: &str) -> bool {
         self.flags.contains_key(name)
+    }
+
+    /// A boolean (presence-only) flag such as `--verbose`.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.has(name)
+    }
+
+    /// A flag's value, if present (e.g. `--metrics-out PATH`).
+    #[must_use]
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
     }
 }
 

@@ -207,6 +207,7 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
         ..SimConfig::paper_reference()?
     };
     let est = estimate_p_late(&cfg, n, rounds, seed)?;
+    let bound = model_of(parsed)?.p_late_bound(n, t)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -222,6 +223,7 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
         "  service time: mean {:.4} s, max {:.4} s",
         est.mean_service_time, est.max_service_time
     );
+    let _ = writeln!(out, "  analytic Chernoff bound: {bound:.5}");
     Ok(out)
 }
 

@@ -10,6 +10,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod telemetry;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug, Clone, PartialEq)]

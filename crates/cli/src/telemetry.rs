@@ -1,0 +1,49 @@
+//! CLI-side telemetry wiring: install event sinks from the observability
+//! flags before a command runs, dump the metrics snapshot after.
+//!
+//! The flags (shared by every command):
+//!
+//! * `--events-out PATH` — stream per-round / per-admission events to
+//!   `PATH` as JSONL, one object per line.
+//! * `-v` / `--verbose` — stream the same events to stderr instead
+//!   (ignored when `--events-out` is given; the file wins).
+//! * `--metrics-out PATH` — at exit, write the global registry snapshot
+//!   (counters, gauges, histogram quantiles) to `PATH` as JSON.
+
+use crate::args::Parsed;
+use crate::CliError;
+use std::sync::Arc;
+
+/// Install the event sink the flags ask for. Call once, before the
+/// command executes.
+///
+/// # Errors
+/// [`CliError::Execution`] when the `--events-out` file cannot be
+/// created.
+pub fn init(parsed: &Parsed) -> Result<(), CliError> {
+    if let Some(path) = parsed.str_opt("events-out") {
+        let sink = mzd_telemetry::event::JsonlSink::create(path)
+            .map_err(|e| CliError::Execution(format!("cannot create {path}: {e}")))?;
+        mzd_telemetry::set_sink(Arc::new(sink));
+    } else if parsed.flag("verbose") {
+        mzd_telemetry::set_sink(Arc::new(mzd_telemetry::event::StderrSink));
+    }
+    Ok(())
+}
+
+/// Flush the event sink and write the metrics snapshot if requested.
+/// Call once, after the command executes (on success or failure — a
+/// failed run's partial metrics are still useful).
+///
+/// # Errors
+/// [`CliError::Execution`] when the `--metrics-out` file cannot be
+/// written.
+pub fn finish(parsed: &Parsed) -> Result<(), CliError> {
+    mzd_telemetry::event::flush();
+    if let Some(path) = parsed.str_opt("metrics-out") {
+        let json = mzd_telemetry::global().snapshot().to_json();
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(())
+}

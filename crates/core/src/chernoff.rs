@@ -23,6 +23,20 @@
 use crate::transfer::TransferTimeModel;
 use crate::{transform, CoreError};
 use mzd_numerics::minimize::brent_minimize;
+use std::sync::OnceLock;
+
+/// Cached global-registry handles for the minimizer hot path (one lock
+/// per process instead of one per bound evaluation).
+fn chernoff_metrics() -> &'static (mzd_telemetry::Histogram, mzd_telemetry::Counter) {
+    static METRICS: OnceLock<(mzd_telemetry::Histogram, mzd_telemetry::Counter)> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = mzd_telemetry::global();
+        (
+            g.histogram("core.chernoff.iterations"),
+            g.counter("core.chernoff.converge_fail"),
+        )
+    })
+}
 
 /// The distribution model of one round's total service time for a fixed
 /// number of requests.
@@ -146,8 +160,13 @@ impl RoundService {
         let alpha = self.transfer.alpha();
         let objective = |theta: f64| self.log_mgf(theta) - theta * t;
         let upper = alpha * (1.0 - 1e-9);
-        let m = brent_minimize(objective, 0.0, upper, 1e-12)
-            .expect("interval (0, alpha) is valid by construction");
+        let (iterations, converge_fail) = chernoff_metrics();
+        let _span = mzd_telemetry::span!("core.chernoff.minimize");
+        let m = brent_minimize(objective, 0.0, upper, 1e-12).unwrap_or_else(|e| {
+            converge_fail.inc();
+            panic!("interval (0, alpha) is valid by construction: {e}")
+        });
+        iterations.record(m.evaluations as f64);
         let exponent = m.value.min(0.0);
         ChernoffBound {
             probability: exponent.exp().min(1.0),

@@ -28,6 +28,19 @@ use crate::transfer::TransferTimeModel;
 use crate::{transform, CoreError};
 use mzd_numerics::roots::brent;
 use mzd_numerics::special::standard_normal_cdf;
+use std::sync::OnceLock;
+
+/// Cached global-registry handles for the saddlepoint solver hot path.
+fn saddlepoint_metrics() -> &'static (mzd_telemetry::Histogram, mzd_telemetry::Counter) {
+    static METRICS: OnceLock<(mzd_telemetry::Histogram, mzd_telemetry::Counter)> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = mzd_telemetry::global();
+        (
+            g.histogram("core.saddlepoint.iterations"),
+            g.counter("core.saddlepoint.converge_fail"),
+        )
+    })
+}
 
 /// Result of a saddlepoint tail evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,8 +117,23 @@ pub fn p_late_saddlepoint(model: &RoundService, t: f64) -> Result<SaddlepointTai
     // K'(0) = mean < t, K'(θ→α) → ∞.
     let alpha = cgf.transfer.alpha();
     let upper = alpha * (1.0 - 1e-12);
-    let theta_hat = brent(|th| cgf.k1(th) - t, 0.0, upper, 1e-14)
-        .map_err(|e| CoreError::Invalid(format!("saddlepoint equation failed to solve: {e}")))?;
+    let (iterations, converge_fail) = saddlepoint_metrics();
+    let _span = mzd_telemetry::span!("core.saddlepoint.solve");
+    let evals = std::cell::Cell::new(0u64);
+    let theta_hat = brent(
+        |th| {
+            evals.set(evals.get() + 1);
+            cgf.k1(th) - t
+        },
+        0.0,
+        upper,
+        1e-14,
+    )
+    .map_err(|e| {
+        converge_fail.inc();
+        CoreError::Invalid(format!("saddlepoint equation failed to solve: {e}"))
+    })?;
+    iterations.record(evals.get() as f64);
 
     let k_hat = cgf.k(theta_hat);
     let k2_hat = cgf.k2(theta_hat);

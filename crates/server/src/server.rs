@@ -20,6 +20,32 @@ use mzd_workload::{ObjectSpec, SizeDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Global-registry handles cached per server so per-round and
+/// per-admission paths skip the registry lock.
+#[derive(Debug)]
+struct ServerMetrics {
+    accepted: mzd_telemetry::Counter,
+    rejected: mzd_telemetry::Counter,
+    queued: mzd_telemetry::Counter,
+    queue_depth: mzd_telemetry::Histogram,
+    buffer_occupancy: mzd_telemetry::Gauge,
+    waiting: mzd_telemetry::Gauge,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let g = mzd_telemetry::global();
+        Self {
+            accepted: g.counter("server.admission.accepted"),
+            rejected: g.counter("server.admission.rejected"),
+            queued: g.counter("server.admission.queued"),
+            queue_depth: g.histogram("server.round.queue_depth"),
+            buffer_occupancy: g.gauge("server.buffer.occupancy"),
+            waiting: g.gauge("server.round.waiting"),
+        }
+    }
+}
+
 /// Server-wide configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
@@ -169,6 +195,7 @@ pub struct VideoServer {
     batch: Vec<Vec<usize>>,
     /// Scratch: per-disk fragment sizes for the current round.
     batch_sizes: Vec<Vec<f64>>,
+    metrics: ServerMetrics,
 }
 
 impl VideoServer {
@@ -209,6 +236,7 @@ impl VideoServer {
             rejected: 0,
             batch: vec![Vec::new(); disk_count],
             batch_sizes: vec![Vec::new(); disk_count],
+            metrics: ServerMetrics::new(),
         })
     }
 
@@ -298,10 +326,27 @@ impl VideoServer {
                     buffer: BufferTracker::new(),
                     paused: false,
                 });
+                self.metrics.accepted.inc();
+                if mzd_telemetry::events_enabled() {
+                    mzd_telemetry::emit(
+                        mzd_telemetry::Event::new("server.admission")
+                            .str("decision", "accept")
+                            .u64("stream", id)
+                            .u64("disk", u64::from(start)),
+                    );
+                }
                 Ok(StreamHandle(id))
             }
             reject @ AdmissionDecision::Reject { .. } => {
                 self.rejected += 1;
+                self.metrics.rejected.inc();
+                if mzd_telemetry::events_enabled() {
+                    mzd_telemetry::emit(
+                        mzd_telemetry::Event::new("server.admission")
+                            .str("decision", "reject")
+                            .u64("active", self.sessions.len() as u64),
+                    );
+                }
                 Err(reject)
             }
         }
@@ -314,17 +359,26 @@ impl VideoServer {
     /// FIFO order and is admitted by [`Self::run_round`] as capacity
     /// frees.
     pub fn enqueue_stream(&mut self, object: ObjectSpec) -> Option<StreamHandle> {
-        match self.open_stream(object.clone()) {
-            Ok(h) => Some(h),
-            Err(_) => {
-                // open_stream counted a rejection; reclassify as queued.
-                self.rejected -= 1;
-                let id = self.next_id;
-                self.next_id += 1;
-                self.waiting.push_back((id, object));
-                None
-            }
+        // Probe admission before open_stream so a postponed request is
+        // classified as queued, never as rejected.
+        let load = self.per_disk_load();
+        if matches!(self.admission.decide(&load), AdmissionDecision::Admit) {
+            return self.open_stream(object).ok();
         }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.waiting.push_back((id, object));
+        self.metrics.queued.inc();
+        self.metrics.waiting.set(self.waiting.len() as f64);
+        if mzd_telemetry::events_enabled() {
+            mzd_telemetry::emit(
+                mzd_telemetry::Event::new("server.admission")
+                    .str("decision", "queue")
+                    .u64("stream", id)
+                    .u64("waiting", self.waiting.len() as u64),
+            );
+        }
+        None
     }
 
     /// Number of stream requests waiting for capacity.
@@ -359,10 +413,20 @@ impl VideoServer {
                         paused: false,
                     });
                     admitted.push(StreamHandle(id));
+                    self.metrics.accepted.inc();
+                    if mzd_telemetry::events_enabled() {
+                        mzd_telemetry::emit(
+                            mzd_telemetry::Event::new("server.admission")
+                                .str("decision", "dequeue")
+                                .u64("stream", id)
+                                .u64("disk", u64::from(start)),
+                        );
+                    }
                 }
                 AdmissionDecision::Reject { .. } => break,
             }
         }
+        self.metrics.waiting.set(self.waiting.len() as f64);
         admitted
     }
 
@@ -490,6 +554,7 @@ impl VideoServer {
         let mut glitched_ids = Vec::new();
         for (d, sim) in self.disks.iter_mut().enumerate() {
             let sizes = &self.batch_sizes[d];
+            self.metrics.queue_depth.record(sizes.len() as f64);
             let out = sim.run_round_sized(sizes);
             disk_summaries.push(DiskRoundSummary {
                 disk: d as u32,
@@ -540,13 +605,28 @@ impl VideoServer {
         // Capacity freed by completions goes to waiting requests (§1:
         // postponed admissions resume when streams terminate).
         let newly_admitted = self.drain_wait_queue();
-        RoundReport {
+        let report = RoundReport {
             round: self.rounds_run - 1,
             disks: disk_summaries,
             glitched_streams: glitched_ids,
             completed_streams: completed_ids,
             admitted_from_queue: newly_admitted.iter().map(StreamHandle::id).collect(),
+        };
+        let occupancy: f64 = self.sessions.iter().map(|s| s.buffer.occupancy()).sum();
+        self.metrics.buffer_occupancy.set(occupancy);
+        if mzd_telemetry::events_enabled() {
+            mzd_telemetry::emit(
+                mzd_telemetry::Event::new("server.round")
+                    .u64("round", report.round)
+                    .u64("active", self.sessions.len() as u64)
+                    .u64("waiting", self.waiting.len() as u64)
+                    .f64("buffer_occupancy", occupancy)
+                    .u64_list("glitched", &report.glitched_streams)
+                    .u64_list("completed", &report.completed_streams)
+                    .u64_list("admitted_from_queue", &report.admitted_from_queue),
+            );
         }
+        report
     }
 
     /// Run `rounds` rounds, returning only the aggregate glitch count (for

@@ -21,6 +21,32 @@ use mzd_workload::SizeDistribution;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
+/// Global-registry handles cached per simulator so the per-round hot
+/// path never touches the registry's lock.
+#[derive(Debug)]
+struct RoundMetrics {
+    rounds: mzd_telemetry::Counter,
+    late: mzd_telemetry::Counter,
+    service_time: mzd_telemetry::Histogram,
+    seek_time: mzd_telemetry::Histogram,
+    rotational_time: mzd_telemetry::Histogram,
+    transfer_time: mzd_telemetry::Histogram,
+}
+
+impl RoundMetrics {
+    fn new() -> Self {
+        let g = mzd_telemetry::global();
+        Self {
+            rounds: g.counter("sim.rounds"),
+            late: g.counter("sim.round.late"),
+            service_time: g.histogram("sim.round.service_time"),
+            seek_time: g.histogram("sim.round.seek_time"),
+            rotational_time: g.histogram("sim.round.rotational_time"),
+            transfer_time: g.histogram("sim.round.transfer_time"),
+        }
+    }
+}
+
 /// Disk-arm scheduling policy within a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SeekPolicy {
@@ -196,6 +222,9 @@ pub struct RoundSimulator {
     zone_cdf: Vec<f64>,
     /// Scratch buffer reused across rounds.
     requests: Vec<Request>,
+    /// Rounds served so far — the logical round id of emitted events.
+    rounds_run: u64,
+    metrics: RoundMetrics,
 }
 
 impl RoundSimulator {
@@ -216,6 +245,8 @@ impl RoundSimulator {
             direction: SweepDirection::Up,
             zone_cdf,
             requests: Vec::new(),
+            rounds_run: 0,
+            metrics: RoundMetrics::new(),
         })
     }
 
@@ -408,7 +439,7 @@ impl RoundSimulator {
         }
         self.arm_position = pos;
         self.direction = self.direction.reversed();
-        RoundOutcome {
+        let outcome = RoundOutcome {
             service_time: clock,
             late: clock > deadline,
             glitched_streams: glitched,
@@ -416,6 +447,44 @@ impl RoundSimulator {
             rotational_time: rot_total,
             transfer_time: trans_total,
             stall_time: stall,
+        };
+        self.observe_round(&outcome);
+        outcome
+    }
+
+    /// Record the round into the metrics registry and (when a sink is
+    /// installed) the event log. Keyed by the logical round id, so a
+    /// seeded replay emits a byte-identical event stream.
+    fn observe_round(&mut self, outcome: &RoundOutcome) {
+        let round = self.rounds_run;
+        self.rounds_run += 1;
+        let m = &self.metrics;
+        m.rounds.inc();
+        if outcome.late {
+            m.late.inc();
+        }
+        m.service_time.record(outcome.service_time);
+        m.seek_time.record(outcome.seek_time);
+        m.rotational_time.record(outcome.rotational_time);
+        m.transfer_time.record(outcome.transfer_time);
+        if mzd_telemetry::events_enabled() {
+            let glitched: Vec<u64> = outcome
+                .glitched_streams
+                .iter()
+                .map(|&s| u64::from(s))
+                .collect();
+            mzd_telemetry::emit(
+                mzd_telemetry::Event::new("sim.round")
+                    .u64("round", round)
+                    .u64("n", self.requests.len() as u64)
+                    .f64("service_time", outcome.service_time)
+                    .f64("seek", outcome.seek_time)
+                    .f64("rot", outcome.rotational_time)
+                    .f64("transfer", outcome.transfer_time)
+                    .f64("stall", outcome.stall_time)
+                    .bool("late", outcome.late)
+                    .u64_list("glitched", &glitched),
+            );
         }
     }
 }

@@ -1,0 +1,94 @@
+//! Span timing: RAII guards that record elapsed wall-clock seconds into
+//! a histogram.
+
+use crate::registry::Histogram;
+use std::time::Instant;
+
+/// A running timer that records its elapsed seconds into a histogram
+/// when dropped (or explicitly finished).
+///
+/// Obtain one from the [`crate::span!`] macro (global registry) or
+/// [`Span::enter`] (any histogram handle):
+///
+/// ```
+/// use mzd_telemetry::{Registry, Span};
+/// let registry = Registry::new();
+/// {
+///     let _span = Span::enter(registry.histogram("solver.iteration"));
+///     // ... timed work ...
+/// } // recorded here
+/// assert_eq!(registry.histogram("solver.iteration").count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Instant,
+    finished: bool,
+}
+
+impl Span {
+    /// Start timing against `histogram`.
+    #[must_use]
+    pub fn enter(histogram: Histogram) -> Self {
+        Self {
+            histogram,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Stop now, record, and return the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.histogram.record(elapsed);
+        self.finished = true;
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.histogram.record(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn drop_records_once() {
+        let r = Registry::new();
+        {
+            let _span = Span::enter(r.histogram("t"));
+        }
+        assert_eq!(r.histogram("t").count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_reports_elapsed() {
+        let r = Registry::new();
+        let span = Span::enter(r.histogram("t"));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let elapsed = span.finish();
+        assert!(elapsed >= 0.002, "elapsed {elapsed}");
+        assert_eq!(r.histogram("t").count(), 1);
+        let s = r.histogram("t").snapshot();
+        assert!(s.min >= 0.002);
+    }
+
+    #[test]
+    fn global_span_macro_compiles_and_records() {
+        let before = crate::global().histogram("test.span_macro").count();
+        {
+            let _span = crate::span!("test.span_macro");
+        }
+        assert_eq!(
+            crate::global().histogram("test.span_macro").count(),
+            before + 1
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of criterion 0.x the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::throughput`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model (simpler than upstream, same spirit): each bench is
+//! warmed up for ~100 ms to calibrate the per-iteration cost, then timed
+//! over enough iterations to fill the measurement window; the harness
+//! reports mean ns/iteration and, when a throughput was declared,
+//! elements or bytes per second. There are no saved baselines, HTML
+//! reports, or statistical regression tests.
+//!
+//! Environment knobs: `CRITERION_QUICK=1` shrinks the warm-up and
+//! measurement windows ~20× for smoke runs (CI uses this).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Declared work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, recording the mean wall-clock cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: count how many calls fit the window.
+        let start = Instant::now();
+        let mut calls: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = self.warm_up.as_nanos() as f64 / calls.max(1) as f64;
+        // Measurement: batches sized to ~1/10 of the window each.
+        let batch = ((self.measure.as_nanos() as f64 / 10.0 / per_call).ceil() as u64).max(1);
+        let mut total_ns = 0.0;
+        let mut total_iters: u64 = 0;
+        let window = Instant::now();
+        while window.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos() as f64;
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+        self.iters_done = total_iters;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        if quick {
+            Self {
+                warm_up: Duration::from_millis(5),
+                measure: Duration::from_millis(25),
+            }
+        } else {
+            Self {
+                warm_up: Duration::from_millis(100),
+                measure: Duration::from_millis(500),
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the warm-up window.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Override the measurement window.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            mean_ns: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{name:<48} time: {:>12}/iter  ({} iters)",
+            fmt_ns(b.mean_ns),
+            b.iters_done
+        );
+        if let Some(t) = throughput {
+            let per_iter_per_sec = 1e9 / b.mean_ns.max(f64::MIN_POSITIVE);
+            let rate = match t {
+                Throughput::Elements(n) => fmt_rate(per_iter_per_sec * n as f64, "elem"),
+                Throughput::Bytes(n) => fmt_rate(per_iter_per_sec * n as f64, "B"),
+            };
+            line.push_str(&format!("  thrpt: {rate}"));
+        }
+        println!("{line}");
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.name);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&name, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(&name, throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_and_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).name, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+        assert_eq!(fmt_ns(12.3), "12.30 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.300 µs");
+        assert!(fmt_rate(2.5e6, "elem").contains("M"));
+    }
+}
