@@ -1,0 +1,74 @@
+//! Cost of the fragment cache's hot-path operations.
+//!
+//! The cache sits in front of every per-stream disk request, so a lookup
+//! runs once per stream per round. Targets: a hit lookup is one hash
+//! probe plus an intrusive-list splice — O(1) and nanosecond-scale; a
+//! miss-and-fill (begin_fetch + complete_fetch) stays well under a
+//! microsecond; a fill that must evict to make room adds only the
+//! victim-selection walk for the policy in play.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mzd_cache::{CacheConfig, CachePolicy, FragmentCache, FragmentKey, Lookup};
+use std::hint::black_box;
+
+const FRAGMENT_BYTES: f64 = 200_000.0;
+
+fn key(object: u64, fragment: u32) -> FragmentKey {
+    FragmentKey { object, fragment }
+}
+
+fn filled_cache(policy: CachePolicy, fragments: u32) -> FragmentCache {
+    let mut cache = FragmentCache::new(CacheConfig {
+        capacity_bytes: f64::from(fragments) * FRAGMENT_BYTES,
+        policy,
+    })
+    .expect("valid config");
+    for f in 0..fragments {
+        cache.insert(key(u64::from(f % 32), f / 32), FRAGMENT_BYTES, 0.02);
+    }
+    cache
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    // Hit lookup: resident key, no eviction, no fill.
+    let mut cache = filled_cache(CachePolicy::Lru, 4096);
+    let mut f = 0u32;
+    c.bench_function("cache_hit_lookup", |b| {
+        b.iter(|| {
+            f = (f + 1) % 128;
+            let got = cache.lookup(black_box(key(u64::from(f % 32), f / 32)));
+            assert!(matches!(got, Lookup::Hit));
+        });
+    });
+
+    // Miss + fill into a cache with free room: lookup, begin_fetch, then
+    // complete_fetch inserting the fragment (each iteration evicts the
+    // fragment again so the cache never saturates).
+    let mut cache = filled_cache(CachePolicy::Lru, 64);
+    let cold = key(999, 0);
+    c.bench_function("cache_miss_and_fill", |b| {
+        b.iter(|| {
+            cache.evict(cold);
+            assert!(matches!(cache.lookup(black_box(cold)), Lookup::Miss));
+            cache.begin_fetch(cold);
+            cache.complete_fetch(cold, FRAGMENT_BYTES, black_box(0.02));
+        });
+    });
+
+    // Evicting fill: the cache is at capacity, so every insert must pick
+    // and push out a victim first. Benchmarked per policy since victim
+    // selection is where they differ.
+    for policy in [CachePolicy::Lru, CachePolicy::CostAware] {
+        let mut cache = filled_cache(policy, 1024);
+        let mut next = 10_000u64;
+        c.bench_function(&format!("cache_evicting_fill_{}", policy.name()), |b| {
+            b.iter(|| {
+                next += 1;
+                cache.insert(black_box(key(next, 0)), FRAGMENT_BYTES, 0.02);
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_cache_ops);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! experiments <id> [--quick]
 //!
 //! ids: fig1 table2 ex31 ex32 ex33 wc approx nmax
-//!      ablate-zone ablate-scan ablate-dist all
+//!      ablate-zone ablate-scan ablate-dist cache all
 //! ```
 
 use mzd_bench::Budget;
@@ -38,6 +38,7 @@ fn main() {
         Some("mixed") => experiments::mixed(budget),
         Some("saddle") => experiments::saddlepoint(budget),
         Some("buffering") => experiments::buffering(budget),
+        Some("cache") => experiments::cache(budget),
         Some("all") => experiments::all(budget),
         other => {
             if let Some(o) = other {
@@ -63,6 +64,7 @@ fn main() {
                  mixed        mixed continuous+discrete workload\n  \
                  saddle       saddlepoint vs Chernoff vs simulation\n  \
                  buffering    work-ahead prefetching (\u{a7}6 buffering)\n  \
+                 cache        fragment cache: glitch rate vs size vs Zipf skew\n  \
                  all          everything, in order"
             );
             std::process::exit(2);

@@ -8,6 +8,7 @@
 //!   plate      round-overrun probability (bound + saddlepoint estimate)
 //!   table      precomputed admission lookup table (§5)
 //!   simulate   estimate p_late by simulation
+//!   serve      run the round-based server on a Zipf catalog
 //!   plan       provisioning: disks for a stream population
 //!   worstcase  deterministic worst-case limits (eq. 4.1)
 //!   disks      list built-in drive profiles
@@ -38,6 +39,9 @@ pub enum Command {
     Table,
     /// Simulation-based p_late estimate.
     Simulate,
+    /// Round-based server run over a popularity-skewed catalog, with an
+    /// optional fragment cache.
+    Serve,
     /// Disks-for-population provisioning.
     Plan,
     /// Deterministic worst-case limits.
@@ -59,6 +63,11 @@ commands:
   plate      overrun probability for one N (flags: --n N)
   table      admission lookup table (flags: --thresholds p1,p2,...)
   simulate   simulated p_late (flags: --n N --rounds R --seed S)
+  serve      round-based server on a Zipf catalog
+             (flags: --disks D --streams N --rounds R --seed S
+              --objects K --object-rounds M --zipf SKEW
+              --cache-bytes B --cache-policy lru|interval|cost
+              --cache-safety S    [enables cache-aware admission])
   plan       disks for a population (flags: --population N --m R --g G --epsilon P)
   worstcase  deterministic worst-case limits (eq. 4.1)
   disks      list built-in drive profiles
@@ -94,6 +103,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, CliError> {
         Some("plate") => Command::PLate,
         Some("table") => Command::Table,
         Some("simulate") => Command::Simulate,
+        Some("serve") => Command::Serve,
         Some("plan") => Command::Plan,
         Some("worstcase") => Command::WorstCase,
         Some("disks") => Command::Disks,
@@ -241,6 +251,24 @@ mod tests {
     fn empty_args_mean_help() {
         assert_eq!(parse(&[]).unwrap().command, Command::Help);
         assert_eq!(parse(&v(&["help"])).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn serve_command_parses() {
+        let p = parse(&v(&[
+            "serve",
+            "--cache-bytes",
+            "5e7",
+            "--cache-policy",
+            "interval",
+            "--zipf",
+            "1.0",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, Command::Serve);
+        assert_eq!(p.f64_or("cache-bytes", 0.0).unwrap(), 5e7);
+        assert_eq!(p.str_or("cache-policy", "lru"), "interval");
+        assert_eq!(p.f64_or("zipf", 0.0).unwrap(), 1.0);
     }
 
     #[test]

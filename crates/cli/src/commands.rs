@@ -6,7 +6,7 @@ use crate::CliError;
 use mzd_core::{GuaranteeModel, WorstCaseRate, ZoneHandling};
 use mzd_disk::{profiles, Disk, DiskProfile};
 use mzd_sim::{estimate_p_late, SimConfig};
-use mzd_workload::SizeDistribution;
+use mzd_workload::{ObjectSpec, SizeDistribution, Zipf};
 use std::fmt::Write as _;
 
 /// Execute a parsed command line, returning the text to print.
@@ -22,6 +22,7 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
         Command::PLate => p_late(parsed),
         Command::Table => table(parsed),
         Command::Simulate => simulate(parsed),
+        Command::Serve => serve(parsed),
         Command::Plan => plan(parsed),
         Command::WorstCase => worst_case(parsed),
     }
@@ -227,6 +228,145 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+#[allow(clippy::too_many_lines)]
+fn serve(parsed: &Parsed) -> Result<String, CliError> {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let disks = u32::try_from(parsed.u64_or("disks", 1)?)
+        .map_err(|_| CliError::Usage("--disks is too large".into()))?;
+    let streams = parsed.u64_or("streams", 28)?;
+    let rounds = parsed.u64_or("rounds", 1200)?;
+    let seed = parsed.u64_or("seed", 42)?;
+    let objects = usize::try_from(parsed.u64_or("objects", 16)?)
+        .map_err(|_| CliError::Usage("--objects is too large".into()))?;
+    let object_rounds = u32::try_from(parsed.u64_or("object-rounds", 600)?)
+        .map_err(|_| CliError::Usage("--object-rounds is too large".into()))?;
+    let skew = parsed.f64_or("zipf", 0.0)?;
+    let mean = parsed.f64_or("mean", 200_000.0)?;
+    let sd = parsed.f64_or("sd", 100_000.0)?;
+
+    let mut cfg = mzd_server::ServerConfig::paper_reference(disks)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    cfg.disk = disk_of(parsed)?;
+    cfg.round_length = parsed.f64_or("round", 1.0)?;
+    cfg.admission_size_mean = mean;
+    cfg.admission_size_variance = sd * sd;
+    if parsed.has("cache-bytes") || parsed.has("cache-policy") || parsed.has("cache-safety") {
+        let policy = mzd_cache::CachePolicy::parse(parsed.str_or("cache-policy", "lru"))
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        let admission_safety = match parsed.str_opt("cache-safety") {
+            None => None,
+            Some(_) => Some(parsed.f64_or("cache-safety", 0.2)?),
+        };
+        cfg.cache = Some(mzd_server::CacheSettings {
+            capacity_bytes: parsed.f64_or("cache-bytes", 0.0)?,
+            policy,
+            admission_safety,
+        });
+    }
+
+    let sizes =
+        SizeDistribution::gamma(mean, sd * sd).map_err(|e| CliError::Execution(e.to_string()))?;
+    let catalog: Vec<ObjectSpec> = (0..objects)
+        .map(|i| {
+            ObjectSpec::new(format!("obj-{i}"), sizes.clone(), object_rounds)
+                .map(|o| o.with_content_id(i as u64 + 1))
+                .map_err(|e| CliError::Execution(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    let zipf =
+        Zipf::new(catalog.len(), skew).map_err(|e| CliError::Usage(format!("--zipf: {e}")))?;
+    // The request-arrival RNG is deliberately separate from the server's
+    // seeded RNG so admission order does not perturb fragment sampling.
+    let mut arrivals = StdRng::seed_from_u64(seed ^ 0x5EED_CA7A_0A11_0C8D);
+
+    let mut server =
+        mzd_server::VideoServer::new(cfg, seed).map_err(|e| CliError::Execution(e.to_string()))?;
+    for _ in 0..streams {
+        let object = catalog[zipf.sample(&mut arrivals)].clone();
+        server.enqueue_stream(object);
+    }
+    let mut glitches = 0u64;
+    let mut stream_rounds = 0u64;
+    let mut completions = 0u64;
+    for _ in 0..rounds {
+        stream_rounds += server.active_streams() as u64;
+        let report = server.run_round();
+        glitches += report.glitched_streams.len() as u64;
+        // Constant offered load: every play-out completion re-draws a
+        // fresh request from the popularity law.
+        for _ in &report.completed_streams {
+            completions += 1;
+            let object = catalog[zipf.sample(&mut arrivals)].clone();
+            server.enqueue_stream(object);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {rounds} rounds on {disks} disk(s) (seed {seed}):"
+    );
+    let _ = writeln!(
+        out,
+        "  catalog: {objects} objects x {object_rounds} rounds, Zipf skew {skew}"
+    );
+    let adm = server.admission();
+    if adm.is_cache_aware() {
+        let _ = writeln!(
+            out,
+            "  admission: {} streams/disk (base {}, cache-aware)",
+            adm.effective_per_disk_limit(),
+            adm.per_disk_limit()
+        );
+    } else {
+        let _ = writeln!(out, "  admission: {} streams/disk", adm.per_disk_limit());
+    }
+    let _ = writeln!(
+        out,
+        "  streams: {} active, {} waiting, {} completed play-out",
+        server.active_streams(),
+        server.waiting_streams(),
+        completions
+    );
+    let glitch_rate = if stream_rounds == 0 {
+        0.0
+    } else {
+        glitches as f64 / stream_rounds as f64
+    };
+    let _ = writeln!(
+        out,
+        "  glitches: {glitches} in {stream_rounds} stream-rounds (rate {glitch_rate:.5})"
+    );
+    if let Some(cache) = server.cache() {
+        let stats = cache.stats();
+        let _ = writeln!(
+            out,
+            "  cache: {} policy, {:.1} MB capacity, {:.1} MB resident ({} fragments)",
+            cache.config().policy.name(),
+            cache.capacity_bytes() / 1e6,
+            cache.occupancy_bytes() / 1e6,
+            cache.len()
+        );
+        let _ = writeln!(
+            out,
+            "  cache traffic: {} hits, {} delayed hits, {} misses ({:.1}% of lookups avoided disk)",
+            stats.hits,
+            stats.delayed_hits,
+            stats.misses,
+            100.0 * stats.disk_avoidance_ratio()
+        );
+        let _ = writeln!(
+            out,
+            "  cache churn: {} insertions, {} evictions, {} rejected fills",
+            stats.insertions, stats.evictions, stats.rejected_fills
+        );
+    } else {
+        let _ = writeln!(out, "  cache: disabled");
+    }
+    Ok(out)
+}
+
 fn plan(parsed: &Parsed) -> Result<String, CliError> {
     let model = model_of(parsed)?;
     let t = parsed.f64_or("round", 1.0)?;
@@ -317,6 +457,68 @@ mod tests {
         let out = run_line(&["simulate", "--n", "20", "--rounds", "200", "--seed", "7"]).unwrap();
         assert!(out.contains("p_late"), "{out}");
         assert!(out.contains("simulated 200 rounds"), "{out}");
+    }
+
+    #[test]
+    fn serve_cacheless_and_cached() {
+        let out = run_line(&["serve", "--rounds", "40", "--streams", "10", "--seed", "7"]).unwrap();
+        assert!(out.contains("served 40 rounds"), "{out}");
+        assert!(out.contains("cache: disabled"), "{out}");
+        let out = run_line(&[
+            "serve",
+            "--rounds",
+            "40",
+            "--streams",
+            "10",
+            "--seed",
+            "7",
+            "--zipf",
+            "1.0",
+            "--cache-bytes",
+            "5e7",
+        ])
+        .unwrap();
+        assert!(out.contains("cache: lru policy"), "{out}");
+        assert!(out.contains("cache traffic:"), "{out}");
+    }
+
+    #[test]
+    fn serve_zero_byte_cache_matches_cacheless_output() {
+        let base =
+            run_line(&["serve", "--rounds", "60", "--streams", "12", "--seed", "3"]).unwrap();
+        let zeroed = run_line(&[
+            "serve",
+            "--rounds",
+            "60",
+            "--streams",
+            "12",
+            "--seed",
+            "3",
+            "--cache-bytes",
+            "0",
+        ])
+        .unwrap();
+        // Identical up to the cache-status footer: a zero-byte cache takes
+        // the exact cacheless code path.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.trim_start().starts_with("cache"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&base), strip(&zeroed));
+    }
+
+    #[test]
+    fn serve_rejects_bad_cache_policy() {
+        assert!(matches!(
+            run_line(&["serve", "--rounds", "1", "--cache-policy", "mru"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_line(&["serve", "--rounds", "1", "--zipf", "-1"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

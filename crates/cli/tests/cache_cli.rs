@@ -1,0 +1,146 @@
+//! Cache-flag regression tests against the real `mzd` binary.
+//!
+//! Two guarantees the docs make about `mzd serve`:
+//!
+//! 1. a run with a fragment cache exports the `cache.*` metric family
+//!    in the `--metrics-out` snapshot and `server.cache` records in the
+//!    `--events-out` stream;
+//! 2. `--cache-bytes 0` is not "a very small cache" but the exact
+//!    cacheless code path — a seeded run's event stream is byte-for-byte
+//!    identical to the same run with no cache flags at all.
+
+use mzd_telemetry::json::{parse, Value};
+use std::process::Command;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mzd-cache-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_serve(extra: &[&str], metrics: Option<&str>, events: Option<&str>) -> String {
+    let mut args = vec![
+        "serve",
+        // Objects shorter than the run: play-out completions replace
+        // streams mid-run, so later readers start behind earlier ones and
+        // find their fragments resident (plain hits, not just the
+        // delayed hits lockstep openers coalesce into).
+        "--rounds",
+        "200",
+        "--streams",
+        "30",
+        "--objects",
+        "12",
+        "--object-rounds",
+        "60",
+        "--seed",
+        "11",
+    ];
+    args.extend_from_slice(extra);
+    if let Some(path) = metrics {
+        args.extend_from_slice(&["--metrics-out", path]);
+    }
+    if let Some(path) = events {
+        args.extend_from_slice(&["--events-out", path]);
+    }
+    let output = Command::new(env!("CARGO_BIN_EXE_mzd"))
+        .args(&args)
+        .output()
+        .expect("failed to spawn mzd");
+    assert!(
+        output.status.success(),
+        "mzd serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("stdout is UTF-8")
+}
+
+#[test]
+fn serve_with_cache_exports_cache_metric_family() {
+    let dir = temp_dir("metrics");
+    let metrics_path = dir.join("metrics.json");
+    let events_path = dir.join("events.jsonl");
+    let stdout = run_serve(
+        &["--zipf", "1.0", "--cache-bytes", "2e8"],
+        Some(metrics_path.to_str().unwrap()),
+        Some(events_path.to_str().unwrap()),
+    );
+    assert!(stdout.contains("cache traffic:"), "{stdout}");
+
+    let metrics = parse(&std::fs::read_to_string(&metrics_path).expect("metrics written"))
+        .expect("metrics JSON parses");
+    let counters = metrics
+        .get("counters")
+        .and_then(Value::as_object)
+        .expect("counters object");
+    for name in ["cache.hits", "cache.misses", "cache.delayed_hits"] {
+        let v = counters
+            .get(name)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("snapshot missing counter `{name}`"));
+        assert!(v >= 0.0, "{name} = {v}");
+    }
+    // A Zipf(1.0) catalog against a 200 MB cache must actually hit.
+    let hits = counters.get("cache.hits").and_then(Value::as_f64).unwrap();
+    let misses = counters
+        .get("cache.misses")
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!(hits > 0.0, "expected cache hits, saw {hits}");
+    assert!(misses > 0.0, "expected cache misses, saw {misses}");
+
+    let gauges = metrics
+        .get("gauges")
+        .and_then(Value::as_object)
+        .expect("gauges object");
+    let occupancy = gauges
+        .get("cache.occupancy_bytes")
+        .and_then(Value::as_f64)
+        .expect("cache.occupancy_bytes gauge");
+    assert!(occupancy > 0.0, "occupancy = {occupancy}");
+
+    let histograms = metrics
+        .get("histograms")
+        .and_then(Value::as_object)
+        .expect("histograms object");
+    let latency = histograms
+        .get("cache.hit_latency_rounds")
+        .expect("cache.hit_latency_rounds histogram");
+    assert!(latency.get("count").and_then(Value::as_f64).unwrap() >= 1.0);
+
+    // One server.cache record per round, carrying the running hit ratio.
+    let events_text = std::fs::read_to_string(&events_path).expect("events written");
+    let cache_events: Vec<Value> = events_text
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| parse(l).expect("JSONL line parses"))
+        .filter(|v| v.get("event").and_then(Value::as_str) == Some("server.cache"))
+        .collect();
+    assert_eq!(cache_events.len(), 200, "one server.cache record per round");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_byte_cache_run_is_byte_identical_to_cacheless_run() {
+    let dir = temp_dir("identity");
+    let base_events = dir.join("base.jsonl");
+    let zero_events = dir.join("zero.jsonl");
+    let base_stdout = run_serve(
+        &["--zipf", "0.8"],
+        None,
+        Some(base_events.to_str().unwrap()),
+    );
+    let zero_stdout = run_serve(
+        &["--zipf", "0.8", "--cache-bytes", "0"],
+        None,
+        Some(zero_events.to_str().unwrap()),
+    );
+    assert_eq!(base_stdout, zero_stdout, "stdout reports must match");
+    let base = std::fs::read(&base_events).expect("base events written");
+    let zero = std::fs::read(&zero_events).expect("zero events written");
+    assert!(!base.is_empty());
+    assert_eq!(base, zero, "event streams must be byte-identical");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -90,7 +90,7 @@ pub fn sweep_cost(
 
 /// Total seek time when each request is served in arrival order with
 /// independent (non-SCAN) arm movements — the FCFS baseline the paper's
-/// related work assumes ([CZ94], [CL96] model independent seeks).
+/// related work assumes (\[CZ94\], \[CL96\] model independent seeks).
 #[must_use]
 pub fn independent_seek_cost(curve: &SeekCurve, start: u32, positions: &[u32]) -> SweepCost {
     let mut total = 0.0;

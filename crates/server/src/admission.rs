@@ -51,6 +51,12 @@ pub struct AdmissionController {
     target: QualityTarget,
     round_length: f64,
     per_disk_limit: u32,
+    /// Cache-aware inflation: `Some(safety)` admits up to
+    /// `N_max / (1 − h·(1−safety))` per disk, `h` the measured
+    /// disk-avoidance lower bound fed in via
+    /// [`AdmissionController::set_hit_ratio_lower_bound`].
+    cache_safety: Option<f64>,
+    hit_ratio_lower_bound: f64,
 }
 
 impl AdmissionController {
@@ -76,13 +82,71 @@ impl AdmissionController {
             target,
             round_length,
             per_disk_limit,
+            cache_safety: None,
+            hit_ratio_lower_bound: 0.0,
         })
     }
 
-    /// The per-disk stream limit in force.
+    /// The per-disk stream limit the analytic model yields (before any
+    /// cache-aware inflation).
     #[must_use]
     pub fn per_disk_limit(&self) -> u32 {
         self.per_disk_limit
+    }
+
+    /// Enable cache-aware admission with the given safety margin in
+    /// `[0, 1]`: disk traffic thinned by a cache with measured avoidance
+    /// ratio `h` lets each disk carry `N_max / (1 − h·(1−safety))`
+    /// streams. `safety = 1` never inflates; `safety = 0` trusts the
+    /// measured lower bound fully.
+    ///
+    /// # Errors
+    /// [`ServerError::Invalid`] for `safety` outside `[0, 1]`.
+    pub fn enable_cache_aware(&mut self, safety: f64) -> Result<(), ServerError> {
+        if !(0.0..=1.0).contains(&safety) {
+            return Err(ServerError::Invalid(format!(
+                "cache-aware admission safety must be in [0, 1], got {safety}"
+            )));
+        }
+        self.cache_safety = Some(safety);
+        Ok(())
+    }
+
+    /// Whether cache-aware inflation is enabled.
+    #[must_use]
+    pub fn is_cache_aware(&self) -> bool {
+        self.cache_safety.is_some()
+    }
+
+    /// Feed the latest conservative lower bound on the cache's
+    /// disk-avoidance ratio (e.g. [`mzd_cache::hit_ratio_lower_bound`]
+    /// over a recent measurement window). Clamped to `[0, 1)`. No-op
+    /// semantically unless cache-aware mode is enabled.
+    pub fn set_hit_ratio_lower_bound(&mut self, h: f64) {
+        self.hit_ratio_lower_bound = if h.is_finite() {
+            h.clamp(0.0, 1.0 - 1e-9)
+        } else {
+            0.0
+        };
+    }
+
+    /// The per-disk limit actually enforced: the model's `N_max`, divided
+    /// by the fraction of requests the disks still see once the cache
+    /// absorbs its (conservatively measured) share. Equal to
+    /// [`Self::per_disk_limit`] when cache-aware mode is off or no hit
+    /// ratio has been established.
+    #[must_use]
+    pub fn effective_per_disk_limit(&self) -> u32 {
+        let Some(safety) = self.cache_safety else {
+            return self.per_disk_limit;
+        };
+        let discount = 1.0 - self.hit_ratio_lower_bound * (1.0 - safety);
+        // discount ∈ (0, 1]: hit_ratio < 1 and safety ≥ 0.
+        let inflated = f64::from(self.per_disk_limit) / discount;
+        // Cap the inflation so a pathological measurement cannot admit
+        // unboundedly; 8× already implies h ≳ 0.88 sustained.
+        let cap = f64::from(self.per_disk_limit) * 8.0;
+        inflated.min(cap).floor() as u32
     }
 
     /// The quality target in force.
@@ -107,12 +171,13 @@ impl AdmissionController {
     /// the per-disk limit — i.e. iff the least-loaded disk has headroom.
     #[must_use]
     pub fn decide(&self, per_disk_active: &[u32]) -> AdmissionDecision {
+        let limit = self.effective_per_disk_limit();
         let min_load = per_disk_active.iter().copied().min().unwrap_or(0);
-        if min_load < self.per_disk_limit {
+        if min_load < limit {
             AdmissionDecision::Admit
         } else {
             AdmissionDecision::Reject {
-                per_disk_limit: self.per_disk_limit,
+                per_disk_limit: limit,
             }
         }
     }
@@ -124,7 +189,12 @@ impl AdmissionController {
     /// # Errors
     /// Propagates model-evaluation errors.
     pub fn retarget(&mut self, model: &GuaranteeModel) -> Result<(), ServerError> {
-        *self = Self::from_model(model, self.round_length, self.target)?;
+        let mut fresh = Self::from_model(model, self.round_length, self.target)?;
+        // Cache-aware state survives a workload retarget: the measured hit
+        // ratio describes the traffic, not the disk model.
+        fresh.cache_safety = self.cache_safety;
+        fresh.hit_ratio_lower_bound = self.hit_ratio_lower_bound;
+        *self = fresh;
         Ok(())
     }
 }
@@ -208,6 +278,71 @@ mod tests {
         .unwrap();
         c.retarget(&heavy).unwrap();
         assert!(c.per_disk_limit() < before);
+    }
+
+    #[test]
+    fn cache_aware_mode_inflates_conservatively() {
+        let mut c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::GlitchRate {
+                m: 1200,
+                g: 12,
+                epsilon: 0.01,
+            },
+        )
+        .unwrap();
+        let base = c.per_disk_limit();
+        assert_eq!(base, 28);
+        assert!(!c.is_cache_aware());
+        // Without enabling, a fed hit ratio changes nothing.
+        c.set_hit_ratio_lower_bound(0.5);
+        assert_eq!(c.effective_per_disk_limit(), base);
+
+        c.enable_cache_aware(0.2).unwrap();
+        assert!(c.is_cache_aware());
+        // h = 0.5, safety 0.2: limit = 28 / (1 − 0.5·0.8) = 46.67 → 46.
+        assert_eq!(c.effective_per_disk_limit(), 46);
+        assert_eq!(c.decide(&[40]), AdmissionDecision::Admit);
+        assert_eq!(
+            c.decide(&[46]),
+            AdmissionDecision::Reject { per_disk_limit: 46 }
+        );
+        // No evidence → no inflation.
+        c.set_hit_ratio_lower_bound(0.0);
+        assert_eq!(c.effective_per_disk_limit(), base);
+        // Pathological h → bounded by 1/safety (here 5×) and never panics.
+        c.set_hit_ratio_lower_bound(1.0);
+        assert_eq!(c.effective_per_disk_limit(), 139);
+        // With no safety margin the 8× hard cap takes over.
+        c.enable_cache_aware(0.0).unwrap();
+        c.set_hit_ratio_lower_bound(1.0);
+        assert_eq!(c.effective_per_disk_limit(), base * 8);
+        c.set_hit_ratio_lower_bound(f64::NAN);
+        assert_eq!(c.effective_per_disk_limit(), base);
+        // safety = 1 never inflates regardless of h.
+        c.enable_cache_aware(1.0).unwrap();
+        c.set_hit_ratio_lower_bound(0.9);
+        assert_eq!(c.effective_per_disk_limit(), base);
+        // Invalid safety rejected.
+        assert!(c.enable_cache_aware(-0.1).is_err());
+        assert!(c.enable_cache_aware(1.1).is_err());
+    }
+
+    #[test]
+    fn retarget_preserves_cache_aware_state() {
+        let mut c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::RoundOverrun { delta: 0.01 },
+        )
+        .unwrap();
+        c.enable_cache_aware(0.2).unwrap();
+        c.set_hit_ratio_lower_bound(0.5);
+        let effective_before = c.effective_per_disk_limit();
+        c.retarget(&model()).unwrap();
+        assert!(c.is_cache_aware());
+        assert_eq!(c.effective_per_disk_limit(), effective_before);
     }
 
     #[test]

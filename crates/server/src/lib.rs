@@ -17,6 +17,11 @@
 //! * **Client buffering** ([`buffer`]) — double-buffer accounting per
 //!   client, reporting the high-water buffer requirement (§2: "the buffer
 //!   size must not be below a certain minimum").
+//! * **Fragment caching** ([`server::CacheSettings`]) — an optional
+//!   [`mzd_cache`] layer in front of the disks: hot fragments of stored
+//!   objects are served from memory, concurrent readers coalesce onto one
+//!   in-flight fetch (delayed hits), and admission can inflate the
+//!   per-disk limit by the conservatively measured disk-avoidance ratio.
 //!
 //! ```
 //! use mzd_server::{QualityTarget, ServerConfig, VideoServer};
@@ -41,7 +46,7 @@ pub mod striping;
 
 pub use admission::{AdmissionController, AdmissionDecision, QualityTarget};
 pub use buffer::BufferTracker;
-pub use server::{RoundReport, ServerConfig, StreamHandle, VideoServer};
+pub use server::{CacheSettings, RoundReport, ServerConfig, StreamHandle, VideoServer};
 pub use striping::StripingLayout;
 
 /// Errors from server configuration and operation.

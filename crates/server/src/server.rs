@@ -13,12 +13,20 @@ use crate::admission::{AdmissionController, AdmissionDecision, QualityTarget};
 use crate::buffer::BufferTracker;
 use crate::striping::StripingLayout;
 use crate::ServerError;
+use mzd_cache::{CacheConfig, CachePolicy, FragmentCache, FragmentKey, Lookup};
 use mzd_core::{GuaranteeModel, ZoneHandling};
 use mzd_disk::Disk;
 use mzd_sim::round::{OverrunPolicy, RoundSimulator, SeekPolicy, SimConfig};
 use mzd_workload::{ObjectSpec, SizeDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Rounds of cache-lookup history the hit-ratio measurement window spans.
+const HIT_WINDOW_ROUNDS: usize = 64;
+/// Minimum lookups in the window before cache-aware admission trusts the
+/// measured hit ratio at all (below this, inflation stays off).
+const HIT_WINDOW_MIN_TRIALS: u64 = 256;
 
 /// Global-registry handles cached per server so per-round and
 /// per-admission paths skip the registry lock.
@@ -30,6 +38,12 @@ struct ServerMetrics {
     queue_depth: mzd_telemetry::Histogram,
     buffer_occupancy: mzd_telemetry::Gauge,
     waiting: mzd_telemetry::Gauge,
+    cache_hits: mzd_telemetry::Counter,
+    cache_misses: mzd_telemetry::Counter,
+    cache_delayed_hits: mzd_telemetry::Counter,
+    cache_evictions: mzd_telemetry::Counter,
+    cache_occupancy: mzd_telemetry::Gauge,
+    cache_hit_latency: mzd_telemetry::Histogram,
 }
 
 impl ServerMetrics {
@@ -42,6 +56,41 @@ impl ServerMetrics {
             queue_depth: g.histogram("server.round.queue_depth"),
             buffer_occupancy: g.gauge("server.buffer.occupancy"),
             waiting: g.gauge("server.round.waiting"),
+            cache_hits: g.counter("cache.hits"),
+            cache_misses: g.counter("cache.misses"),
+            cache_delayed_hits: g.counter("cache.delayed_hits"),
+            cache_evictions: g.counter("cache.evictions"),
+            cache_occupancy: g.gauge("cache.occupancy_bytes"),
+            cache_hit_latency: g.histogram("cache.hit_latency_rounds"),
+        }
+    }
+}
+
+/// Fragment-cache settings of a server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSettings {
+    /// Cache byte budget. `0` disables the cache entirely — the server
+    /// takes the exact cacheless code path, so a seeded run with a
+    /// zero-byte cache is byte-identical to one with no cache configured.
+    pub capacity_bytes: f64,
+    /// Replacement policy.
+    pub policy: CachePolicy,
+    /// `Some(safety)` additionally enables cache-aware admission: the
+    /// per-disk limit inflates to `N_max / (1 − h·(1−safety))`, `h` a
+    /// conservative lower confidence bound on the measured disk-avoidance
+    /// ratio over a 64-round sliding window. Ignored while the cache is
+    /// disabled.
+    pub admission_safety: Option<f64>,
+}
+
+impl CacheSettings {
+    /// LRU cache of the given size, without cache-aware admission.
+    #[must_use]
+    pub fn lru(capacity_bytes: f64) -> Self {
+        Self {
+            capacity_bytes,
+            policy: CachePolicy::Lru,
+            admission_safety: None,
         }
     }
 }
@@ -62,6 +111,9 @@ pub struct ServerConfig {
     pub admission_size_mean: f64,
     /// Fragment-size variance for the admission model.
     pub admission_size_variance: f64,
+    /// Optional fragment cache in front of the disks. `None` (and
+    /// `Some` with a zero byte budget) run the server cacheless.
+    pub cache: Option<CacheSettings>,
 }
 
 impl ServerConfig {
@@ -91,6 +143,7 @@ impl ServerConfig {
             },
             admission_size_mean: 200_000.0,
             admission_size_variance: 1e10,
+            cache: None,
         })
     }
 
@@ -191,10 +244,22 @@ pub struct VideoServer {
     next_id: u64,
     rounds_run: u64,
     rejected: u64,
+    /// Incremental per-disk active-stream counts, kept in lockstep with
+    /// session open/close/advance so admission probes and batching never
+    /// rescan the session list.
+    load: Vec<u32>,
+    /// Fragment cache in front of the disks (None = cacheless path).
+    cache: Option<FragmentCache>,
+    /// Sliding window of per-round `(lookups, disk visits avoided)` used
+    /// to measure the hit ratio for cache-aware admission.
+    hit_window: std::collections::VecDeque<(u64, u64)>,
     /// Scratch: per-disk session indices for the current round.
     batch: Vec<Vec<usize>>,
     /// Scratch: per-disk fragment sizes for the current round.
     batch_sizes: Vec<Vec<f64>>,
+    /// Scratch: per-disk cache keys being fetched by each batch slot
+    /// (None for uncached requests).
+    batch_keys: Vec<Vec<Option<FragmentKey>>>,
     metrics: ServerMetrics,
 }
 
@@ -207,7 +272,22 @@ impl VideoServer {
     pub fn new(cfg: ServerConfig, seed: u64) -> Result<Self, ServerError> {
         let layout = StripingLayout::new(cfg.disks)?;
         let model = cfg.model()?;
-        let admission = AdmissionController::from_model(&model, cfg.round_length, cfg.target)?;
+        let mut admission = AdmissionController::from_model(&model, cfg.round_length, cfg.target)?;
+        let cache = match &cfg.cache {
+            Some(settings) if settings.capacity_bytes > 0.0 => Some(
+                FragmentCache::new(CacheConfig {
+                    capacity_bytes: settings.capacity_bytes,
+                    policy: settings.policy,
+                })
+                .map_err(|e| ServerError::Invalid(e.to_string()))?,
+            ),
+            _ => None,
+        };
+        if cache.is_some() {
+            if let Some(safety) = cfg.cache.as_ref().and_then(|s| s.admission_safety) {
+                admission.enable_cache_aware(safety)?;
+            }
+        }
         let sim_cfg = SimConfig {
             disk: cfg.disk.clone(),
             sizes: SizeDistribution::gamma(cfg.admission_size_mean, cfg.admission_size_variance)
@@ -234,8 +314,12 @@ impl VideoServer {
             next_id: 0,
             rounds_run: 0,
             rejected: 0,
+            load: vec![0; disk_count],
+            cache,
+            hit_window: std::collections::VecDeque::with_capacity(HIT_WINDOW_ROUNDS + 1),
             batch: vec![Vec::new(); disk_count],
             batch_sizes: vec![Vec::new(); disk_count],
+            batch_keys: vec![Vec::new(); disk_count],
             metrics: ServerMetrics::new(),
         })
     }
@@ -276,12 +360,33 @@ impl VideoServer {
         &self.completed
     }
 
+    /// The fragment cache, if one is configured and enabled.
+    #[must_use]
+    pub fn cache(&self) -> Option<&FragmentCache> {
+        self.cache.as_ref()
+    }
+
     /// Per-disk active stream counts *for the next round* (each session is
     /// pinned to one disk per round by the striping rotation). Paused
     /// sessions are counted: they hold their admission reservation so
     /// resumption is always possible without re-admission.
+    ///
+    /// O(D): the counts are maintained incrementally on every open, close,
+    /// queue drain and round advance rather than rescanned per call.
     #[must_use]
     pub fn per_disk_load(&self) -> Vec<u32> {
+        debug_assert_eq!(
+            self.load,
+            self.recompute_per_disk_load(),
+            "incremental per-disk load out of sync with sessions"
+        );
+        self.load.clone()
+    }
+
+    /// Reference recomputation of the load vector by scanning sessions —
+    /// the pre-incremental O(active streams) definition, retained to
+    /// cross-check the incremental counts in debug builds and tests.
+    fn recompute_per_disk_load(&self) -> Vec<u32> {
         let mut load = vec![0u32; self.cfg.disks as usize];
         for s in &self.sessions {
             let d = self
@@ -304,12 +409,12 @@ impl VideoServer {
     pub fn open_stream(&mut self, object: ObjectSpec) -> Result<StreamHandle, AdmissionDecision> {
         // The rotation visits every disk, so the binding constraint is the
         // most loaded disk — checked by the controller.
-        let load = self.per_disk_load();
-        match self.admission.decide(&load) {
+        match self.admission.decide(&self.load) {
             AdmissionDecision::Admit => {
                 // Start on the least-loaded disk to keep the rotation
                 // balanced.
-                let start = load
+                let start = self
+                    .load
                     .iter()
                     .enumerate()
                     .min_by_key(|&(_, &l)| l)
@@ -317,6 +422,10 @@ impl VideoServer {
                     .unwrap_or(0);
                 let id = self.next_id;
                 self.next_id += 1;
+                self.load[start as usize] += 1;
+                if let (Some(cache), Some(cid)) = (self.cache.as_mut(), object.content_id) {
+                    cache.update_reader(id, cid, 0);
+                }
                 self.sessions.push(Session {
                     id,
                     object,
@@ -361,8 +470,7 @@ impl VideoServer {
     pub fn enqueue_stream(&mut self, object: ObjectSpec) -> Option<StreamHandle> {
         // Probe admission before open_stream so a postponed request is
         // classified as queued, never as rejected.
-        let load = self.per_disk_load();
-        if matches!(self.admission.decide(&load), AdmissionDecision::Admit) {
+        if matches!(self.admission.decide(&self.load), AdmissionDecision::Admit) {
             return self.open_stream(object).ok();
         }
         let id = self.next_id;
@@ -393,16 +501,20 @@ impl VideoServer {
     pub fn drain_wait_queue(&mut self) -> Vec<StreamHandle> {
         let mut admitted = Vec::new();
         while let Some((id, object)) = self.waiting.front().cloned() {
-            let load = self.per_disk_load();
-            match self.admission.decide(&load) {
+            match self.admission.decide(&self.load) {
                 AdmissionDecision::Admit => {
                     self.waiting.pop_front();
-                    let start = load
+                    let start = self
+                        .load
                         .iter()
                         .enumerate()
                         .min_by_key(|&(_, &l)| l)
                         .map(|(d, _)| d as u32)
                         .unwrap_or(0);
+                    self.load[start as usize] += 1;
+                    if let (Some(cache), Some(cid)) = (self.cache.as_mut(), object.content_id) {
+                        cache.update_reader(id, cid, 0);
+                    }
                     self.sessions.push(Session {
                         id,
                         object,
@@ -442,6 +554,13 @@ impl VideoServer {
             .position(|s| s.id == handle.0)
             .ok_or(ServerError::UnknownStream(handle.0))?;
         let s = self.sessions.swap_remove(idx);
+        let d = self
+            .layout
+            .disk_of_fragment(s.start_disk, s.fragments_consumed);
+        self.load[d as usize] -= 1;
+        if let (Some(cache), Some(_)) = (self.cache.as_mut(), s.object.content_id) {
+            cache.remove_reader(s.id);
+        }
         self.completed.push(CompletedStream {
             id: s.id,
             object: s.object.name.clone(),
@@ -530,25 +649,83 @@ impl VideoServer {
     }
 
     /// Advance one global round: serve every active stream's next fragment
-    /// on its disk, account glitches and buffers, retire finished streams.
+    /// — from the cache when it is resident or already being fetched,
+    /// from the assigned disk otherwise — account glitches and buffers,
+    /// retire finished streams.
     pub fn run_round(&mut self) -> RoundReport {
-        // Partition sessions over disks for this round.
+        // Partition sessions over disks for this round, consulting the
+        // cache first: hits skip disk service entirely, delayed hits
+        // coalesce onto the in-flight fetch of an earlier stream, misses
+        // go to disk and fill the cache on completion.
         for b in &mut self.batch {
             b.clear();
         }
         for b in &mut self.batch_sizes {
             b.clear();
         }
-        for (i, s) in self.sessions.iter().enumerate() {
-            if s.paused {
+        for b in &mut self.batch_keys {
+            b.clear();
+        }
+        let mut round_hits = 0u64;
+        let mut round_delayed = 0u64;
+        let mut round_misses = 0u64;
+        let evictions_before = self.cache.as_ref().map_or(0, |c| c.stats().evictions);
+        // Sessions waiting on another stream's in-flight fetch this round,
+        // by fetched key. Filled and fully drained within this call; never
+        // iterated, so map order cannot affect behavior.
+        let mut delayed_waiters: HashMap<FragmentKey, Vec<usize>> = HashMap::new();
+        for i in 0..self.sessions.len() {
+            if self.sessions[i].paused {
                 continue;
             }
-            let d = self
-                .layout
-                .disk_of_fragment(s.start_disk, s.fragments_consumed) as usize;
-            self.batch[d].push(i);
-            self.batch_sizes[d].push(s.object.sizes.sample(&mut self.rng));
+            let s = &mut self.sessions[i];
+            let frag = s.fragments_consumed;
+            let d = self.layout.disk_of_fragment(s.start_disk, frag) as usize;
+            // Stored objects have one fixed size per fragment (shared by
+            // every reader — the precondition for caching); i.i.d.
+            // objects re-draw per round exactly as before.
+            let size = match s.object.stored_fragment_size(frag) {
+                Some(stored) => stored,
+                None => s.object.sizes.sample(&mut self.rng),
+            };
+            let mut fetch_key = None;
+            let mut serve_from_disk = true;
+            if let (Some(cache), Some(cid)) = (self.cache.as_mut(), s.object.content_id) {
+                cache.update_reader(s.id, cid, frag);
+                let key = FragmentKey {
+                    object: cid,
+                    fragment: frag,
+                };
+                match cache.lookup(key) {
+                    Lookup::Hit => {
+                        round_hits += 1;
+                        self.metrics.cache_hit_latency.record(0.0);
+                        s.buffer.deliver(size);
+                        serve_from_disk = false;
+                    }
+                    Lookup::DelayedHit => {
+                        round_delayed += 1;
+                        delayed_waiters.entry(key).or_default().push(i);
+                        serve_from_disk = false;
+                    }
+                    Lookup::Miss => {
+                        round_misses += 1;
+                        cache.begin_fetch(key);
+                        fetch_key = Some(key);
+                    }
+                }
+            }
+            if serve_from_disk {
+                self.batch[d].push(i);
+                self.batch_sizes[d].push(size);
+                self.batch_keys[d].push(fetch_key);
+            }
         }
+
+        // Expected rotational + transfer time a cached copy of one
+        // fragment saves the disk per hit — the cost-aware policy's rank.
+        let rot_half = self.cfg.disk.rotation_time() / 2.0;
+        let inv_rate = self.cfg.disk.inverse_rate_moment(1);
 
         let mut disk_summaries = Vec::with_capacity(self.disks.len());
         let mut glitched_ids = Vec::new();
@@ -566,16 +743,45 @@ impl VideoServer {
                 let session_idx = self.batch[d][slot as usize];
                 self.sessions[session_idx].glitches += 1;
                 glitched_ids.push(self.sessions[session_idx].id);
+                // A late fetch is late for everyone coalesced onto it.
+                if let Some(key) = self.batch_keys[d][slot as usize] {
+                    if let Some(waiters) = delayed_waiters.get(&key) {
+                        for &w in waiters {
+                            self.sessions[w].glitches += 1;
+                            glitched_ids.push(self.sessions[w].id);
+                        }
+                    }
+                }
             }
             // Deliveries: every request of the batch fills its client's
-            // buffer for the next round.
+            // buffer for the next round; completed fetches fill the cache
+            // and release their coalesced waiters.
             for (slot, &session_idx) in self.batch[d].iter().enumerate() {
-                let s = &mut self.sessions[session_idx];
-                s.buffer.deliver(sizes[slot]);
+                let bytes = sizes[slot];
+                self.sessions[session_idx].buffer.deliver(bytes);
+                if let Some(key) = self.batch_keys[d][slot] {
+                    let cache = self.cache.as_mut().expect("fetch key implies a cache");
+                    cache.complete_fetch(key, bytes, rot_half + bytes * inv_rate);
+                    if let Some(waiters) = delayed_waiters.remove(&key) {
+                        // Waiters receive the fragment when the sweep
+                        // finishes: a partial-round latency, not a disk
+                        // visit of their own.
+                        let latency_rounds = out.service_time / self.cfg.round_length;
+                        for w in waiters {
+                            self.sessions[w].buffer.deliver(bytes);
+                            self.metrics.cache_hit_latency.record(latency_rounds);
+                        }
+                    }
+                }
             }
         }
+        debug_assert!(
+            delayed_waiters.is_empty(),
+            "every in-flight fetch completes within its round"
+        );
 
-        // Advance sessions; retire the finished.
+        // Advance sessions; retire the finished. The incremental load
+        // vector follows each stream's rotation to the next disk.
         let mut completed_ids = Vec::new();
         let mut i = 0;
         while i < self.sessions.len() {
@@ -585,9 +791,16 @@ impl VideoServer {
                 continue;
             }
             s.buffer.advance_round();
+            let old_d =
+                self.layout
+                    .disk_of_fragment(s.start_disk, s.fragments_consumed) as usize;
             s.fragments_consumed += 1;
             if s.fragments_consumed >= s.object.rounds {
                 let s = self.sessions.swap_remove(i);
+                self.load[old_d] -= 1;
+                if let (Some(cache), Some(_)) = (self.cache.as_mut(), s.object.content_id) {
+                    cache.remove_reader(s.id);
+                }
                 completed_ids.push(s.id);
                 self.completed.push(CompletedStream {
                     id: s.id,
@@ -597,7 +810,55 @@ impl VideoServer {
                     buffer_high_water: s.buffer.high_water(),
                 });
             } else {
+                let new_d = self
+                    .layout
+                    .disk_of_fragment(s.start_disk, s.fragments_consumed)
+                    as usize;
+                self.load[old_d] -= 1;
+                self.load[new_d] += 1;
                 i += 1;
+            }
+        }
+
+        // Cache bookkeeping: metrics, and the measured-hit-ratio feed for
+        // cache-aware admission.
+        if let Some(cache) = &self.cache {
+            self.metrics.cache_hits.add(round_hits);
+            self.metrics.cache_delayed_hits.add(round_delayed);
+            self.metrics.cache_misses.add(round_misses);
+            self.metrics
+                .cache_evictions
+                .add(cache.stats().evictions - evictions_before);
+            self.metrics.cache_occupancy.set(cache.occupancy_bytes());
+            self.hit_window.push_back((
+                round_hits + round_delayed + round_misses,
+                round_hits + round_delayed,
+            ));
+            if self.hit_window.len() > HIT_WINDOW_ROUNDS {
+                self.hit_window.pop_front();
+            }
+            if self.admission.is_cache_aware() {
+                let (trials, avoided) = self
+                    .hit_window
+                    .iter()
+                    .fold((0u64, 0u64), |(t, a), &(lt, la)| (t + lt, a + la));
+                let h = if trials >= HIT_WINDOW_MIN_TRIALS {
+                    mzd_cache::hit_ratio_lower_bound(avoided, trials)
+                } else {
+                    0.0
+                };
+                self.admission.set_hit_ratio_lower_bound(h);
+            }
+            if mzd_telemetry::events_enabled() {
+                mzd_telemetry::emit(
+                    mzd_telemetry::Event::new("server.cache")
+                        .u64("round", self.rounds_run)
+                        .u64("hits", round_hits)
+                        .u64("delayed_hits", round_delayed)
+                        .u64("misses", round_misses)
+                        .f64("occupancy_bytes", cache.occupancy_bytes())
+                        .u64("resident", cache.len() as u64),
+                );
             }
         }
 
@@ -893,6 +1154,134 @@ mod tests {
     #[test]
     fn zero_disk_config_rejected() {
         assert!(ServerConfig::paper_reference(0).is_err());
+    }
+
+    fn cached_server(disks: u32, seed: u64, bytes: f64) -> VideoServer {
+        let mut cfg = ServerConfig::paper_reference(disks).unwrap();
+        cfg.cache = Some(CacheSettings::lru(bytes));
+        VideoServer::new(cfg, seed).unwrap()
+    }
+
+    fn stored_object(name: &str, content_id: u64, rounds: u32) -> ObjectSpec {
+        ObjectSpec::new(name, SizeDistribution::paper_default(), rounds)
+            .unwrap()
+            .with_content_id(content_id)
+    }
+
+    #[test]
+    fn lockstep_readers_coalesce_onto_one_fetch() {
+        let mut s = cached_server(1, 21, 1e9);
+        // Three streams open the same stored object in the same round:
+        // each round, one misses (fetches) and two coalesce.
+        for _ in 0..3 {
+            s.open_stream(stored_object("movie", 1, 20)).unwrap();
+        }
+        let mut disk_requests = 0u32;
+        for _ in 0..20 {
+            let report = s.run_round();
+            disk_requests += report.disks[0].requests;
+        }
+        assert_eq!(disk_requests, 20, "one fetch per round, not three");
+        let stats = *s.cache().unwrap().stats();
+        assert_eq!(stats.misses, 20);
+        assert_eq!(stats.delayed_hits, 40);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn staggered_reader_hits_cached_fragments() {
+        let mut s = cached_server(1, 22, 1e9);
+        let leader = s.open_stream(stored_object("movie", 2, 40)).unwrap();
+        for _ in 0..10 {
+            s.run_round();
+        }
+        // The follower starts from fragment 0, all of which the leader
+        // already pulled into the (ample) cache.
+        let follower = s.open_stream(stored_object("movie", 2, 40)).unwrap();
+        let hits_before = s.cache().unwrap().stats().hits;
+        for _ in 0..10 {
+            s.run_round();
+        }
+        let stats = *s.cache().unwrap().stats();
+        assert_eq!(
+            stats.hits - hits_before,
+            10,
+            "every follower round is a pure hit"
+        );
+        assert_eq!(s.stream_glitches(follower).unwrap(), 0);
+        assert_eq!(s.stream_glitches(leader).unwrap(), 0);
+    }
+
+    #[test]
+    fn uncached_objects_bypass_the_cache() {
+        let mut s = cached_server(1, 23, 1e9);
+        s.open_stream(short_object(10)).unwrap(); // no content_id
+        let report = s.run_round();
+        assert_eq!(report.disks[0].requests, 1);
+        let stats = *s.cache().unwrap().stats();
+        assert_eq!(stats.lookups(), 0);
+        assert!(s.cache().unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_byte_cache_is_identical_to_cacheless() {
+        let mut cacheless = server(2, 31);
+        let mut zero = {
+            let mut cfg = ServerConfig::paper_reference(2).unwrap();
+            cfg.cache = Some(CacheSettings::lru(0.0));
+            VideoServer::new(cfg, 31).unwrap()
+        };
+        assert!(zero.cache().is_none(), "zero bytes disables the cache");
+        for i in 0..6 {
+            cacheless.open_stream(stored_object("m", 5, 30)).unwrap();
+            zero.open_stream(stored_object("m", 5, 30)).unwrap();
+            if i % 2 == 0 {
+                cacheless.open_stream(short_object(30)).unwrap();
+                zero.open_stream(short_object(30)).unwrap();
+            }
+        }
+        for _ in 0..30 {
+            assert_eq!(cacheless.run_round(), zero.run_round());
+        }
+    }
+
+    #[test]
+    fn incremental_load_stays_consistent_under_churn() {
+        let mut s = cached_server(3, 24, 1e8);
+        let mut handles = Vec::new();
+        for step in 0..200u32 {
+            match step % 7 {
+                0 | 1 | 4 => {
+                    if let Ok(h) = s.open_stream(stored_object("hot", 9, 15)) {
+                        handles.push(h);
+                    }
+                }
+                2 => {
+                    if let Some(h) = handles.pop() {
+                        let _ = s.close_stream(h);
+                    }
+                }
+                3 => {
+                    if let Some(h) = handles.first() {
+                        let _ = s.pause_stream(*h);
+                    }
+                }
+                5 => {
+                    if let Some(h) = handles.first() {
+                        let _ = s.resume_stream(*h);
+                    }
+                }
+                _ => {
+                    s.run_round();
+                    handles.retain(|h| s.stream_glitches(*h).is_ok());
+                }
+            }
+            // per_disk_load() debug-asserts the incremental vector against
+            // the O(n) recomputation.
+            let load = s.per_disk_load();
+            let total: u32 = load.iter().sum();
+            assert_eq!(total as usize, s.active_streams());
+        }
     }
 
     #[test]

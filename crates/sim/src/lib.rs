@@ -15,7 +15,10 @@
 //! * [`engine`] — multi-round simulation with per-stream glitch accounting;
 //! * [`experiment`] — estimators for the paper's measured quantities:
 //!   `p_late` (Figure 1) and `p_error` (Table 2), with Wilson confidence
-//!   intervals.
+//!   intervals;
+//! * [`cache_sweep`] — a shared-catalog variant where Zipf-popular
+//!   streams read through a fragment cache, mapping glitch rate against
+//!   cache size and popularity skew.
 //!
 //! Determinism: every entry point takes a seed; identical seeds give
 //! identical results on all platforms (the RNG is `StdRng` and all float
@@ -23,12 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cache_sweep;
 pub mod engine;
 pub mod experiment;
 pub mod mixed;
 pub mod round;
 pub mod workahead;
 
+pub use cache_sweep::{run_point as run_cache_sweep_point, CacheSweepConfig, CacheSweepPoint};
 pub use engine::{GlitchAccounting, SimulationEngine};
 pub use experiment::{estimate_p_error, estimate_p_late, PErrorEstimate, PLateEstimate};
 pub use mixed::{MixedConfig, MixedRunStats, MixedSimulator};

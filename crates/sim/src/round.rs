@@ -56,7 +56,7 @@ pub enum SeekPolicy {
     Scan,
     /// First-come-first-served in arrival (stream) order with independent
     /// seeks — the baseline assumed by the related work the paper improves
-    /// on ([CZ94], [CL96]).
+    /// on (\[CZ94\], \[CL96\]).
     Fcfs,
 }
 

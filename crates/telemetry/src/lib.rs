@@ -11,7 +11,7 @@
 //!   [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s with
 //!   quantile estimation (p50/p95/p99/p999) suitable for service-time and
 //!   seek-time tails. [`Registry::snapshot`] renders the whole registry
-//!   as JSON (see [`snapshot`]).
+//!   as JSON (see [`Snapshot`]).
 //! * [`Span`] — a timer guard: created against a histogram name, it
 //!   records the elapsed wall-clock seconds into that histogram on drop.
 //!   The [`span!`] macro is the one-line form against the global

@@ -16,17 +16,21 @@
 //! * [`trace`] — fragment traces: aggregation of frames into fixed-
 //!   display-time fragments and empirical statistics;
 //! * [`stream`] — stream/object specifications and catalogs used by the
-//!   simulator and the server layer.
+//!   simulator and the server layer;
+//! * [`popularity`] — Zipf object-popularity law governing which objects
+//!   streams open (the skew that makes a fragment cache worthwhile).
 //!
 //! Sizes are in bytes, times in seconds, everywhere.
 
 #![warn(missing_docs)]
 
 pub mod gop;
+pub mod popularity;
 pub mod size;
 pub mod stream;
 pub mod trace;
 
+pub use popularity::Zipf;
 pub use size::SizeDistribution;
 pub use stream::{ObjectCatalog, ObjectSpec, StreamSpec};
 pub use trace::Trace;

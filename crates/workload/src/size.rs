@@ -152,6 +152,30 @@ impl SizeDistribution {
         }
     }
 
+    /// Draw the size of one *specific stored fragment*, deterministically.
+    ///
+    /// `sample` models the paper's i.i.d.-across-rounds assumption: every
+    /// play-out of an object re-draws its sizes. A shared cache needs the
+    /// opposite: fragment `f` of a stored object has *one* size, the same
+    /// for every stream reading it. This derives that size from
+    /// `(content_seed, fragment)` alone — same arguments, same size, on
+    /// any run — while following the same size law, so the analytic
+    /// moments still describe the stored content.
+    #[must_use]
+    pub fn sample_at(&self, content_seed: u64, fragment: u32) -> f64 {
+        use rand::SeedableRng;
+        // SplitMix64-style finalizer over the pair so that consecutive
+        // fragments decorrelate even for small seeds.
+        let mut z = content_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(fragment));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(z);
+        self.sample(&mut rng)
+    }
+
     /// Quantile of the size law at `p ∈ [0, 1)` where analytically
     /// available (`None` for empirical — use the trace directly — and for
     /// lognormal, which the worst-case bound does not need).
@@ -322,6 +346,27 @@ mod tests {
         assert_eq!(d.quantile(0.99).unwrap(), None);
         let d = SizeDistribution::empirical(vec![1.0, 2.0]).unwrap();
         assert_eq!(d.quantile(0.99).unwrap(), None);
+    }
+
+    #[test]
+    fn sample_at_is_deterministic_and_law_abiding() {
+        let d = SizeDistribution::paper_default();
+        // Same (seed, fragment) → same size; different fragment → almost
+        // surely different.
+        assert_eq!(d.sample_at(7, 0), d.sample_at(7, 0));
+        assert_ne!(d.sample_at(7, 0), d.sample_at(7, 1));
+        assert_ne!(d.sample_at(7, 0), d.sample_at(8, 0));
+        // Stored sizes follow the declared law: check the sample mean
+        // over many fragments of one object.
+        let n = 50_000u32;
+        let mean: f64 = (0..n).map(|f| d.sample_at(42, f)).sum::<f64>() / f64::from(n);
+        assert!(
+            (mean / d.mean() - 1.0).abs() < 0.02,
+            "stored-content mean {mean}"
+        );
+        // Constant law is trivially deterministic.
+        let c = SizeDistribution::constant(500.0).unwrap();
+        assert_eq!(c.sample_at(1, 1), 500.0);
     }
 
     #[test]

@@ -18,6 +18,15 @@ pub struct ObjectSpec {
     pub sizes: SizeDistribution,
     /// Play-out length in rounds (`M` in the paper).
     pub rounds: u32,
+    /// Content identity for *stored* objects.
+    ///
+    /// `None` (the default) keeps the paper's i.i.d. model: each play-out
+    /// re-draws its fragment sizes from `sizes` independently. `Some(id)`
+    /// declares the object a fixed stored artifact: fragment `f` always
+    /// has size [`SizeDistribution::sample_at`]`(id, f)`, identical across
+    /// streams — the precondition for fragments being cacheable and for
+    /// two readers to share a fetch.
+    pub content_id: Option<u64>,
 }
 
 impl ObjectSpec {
@@ -39,7 +48,23 @@ impl ObjectSpec {
             name: name.into(),
             sizes,
             rounds,
+            content_id: None,
         })
+    }
+
+    /// Mark this object as stored content with the given identity (see
+    /// [`ObjectSpec::content_id`]).
+    #[must_use]
+    pub fn with_content_id(mut self, id: u64) -> Self {
+        self.content_id = Some(id);
+        self
+    }
+
+    /// The size of stored fragment `fragment`, or `None` for i.i.d.
+    /// objects (no fixed per-fragment size exists — the caller samples).
+    #[must_use]
+    pub fn stored_fragment_size(&self, fragment: u32) -> Option<f64> {
+        self.content_id.map(|id| self.sizes.sample_at(id, fragment))
     }
 
     /// The paper's reference object: Gamma(200 KB, (100 KB)²) fragments
@@ -50,6 +75,7 @@ impl ObjectSpec {
             name: "paper-default".into(),
             sizes: SizeDistribution::paper_default(),
             rounds: 1200,
+            content_id: None,
         }
     }
 
@@ -191,6 +217,23 @@ mod tests {
         assert_eq!(o.sizes.mean(), 200_000.0);
         // 1200 rounds × 200 KB = 240 MB expected.
         assert_eq!(o.expected_bytes(), 240e6);
+    }
+
+    #[test]
+    fn content_id_gates_stored_sizes() {
+        let iid = ObjectSpec::paper_default();
+        assert_eq!(iid.content_id, None);
+        assert_eq!(iid.stored_fragment_size(0), None);
+        let stored = ObjectSpec::paper_default().with_content_id(9);
+        assert_eq!(stored.content_id, Some(9));
+        let s0 = stored.stored_fragment_size(0).unwrap();
+        assert_eq!(stored.stored_fragment_size(0), Some(s0));
+        assert_ne!(stored.stored_fragment_size(1), Some(s0));
+        assert_eq!(
+            s0,
+            stored.sizes.sample_at(9, 0),
+            "stored size comes from sample_at"
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erase this strategy (used by [`prop_oneof!`]).
+        /// Type-erase this strategy (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -95,7 +95,7 @@ pub mod strategy {
     }
 
     /// Uniform choice among several strategies of one value type
-    /// (the expansion of [`prop_oneof!`]).
+    /// (the expansion of `prop_oneof!`).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -190,7 +190,7 @@ pub mod collection {
     use rand::RngExt as _;
     use std::fmt::Debug;
 
-    /// Admissible element-count specifications for [`vec`].
+    /// Admissible element-count specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
