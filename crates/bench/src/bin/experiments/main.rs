@@ -39,6 +39,7 @@ fn main() {
         Some("saddle") => experiments::saddlepoint(budget),
         Some("buffering") => experiments::buffering(budget),
         Some("cache") => experiments::cache(budget),
+        Some("drift") => experiments::drift(budget),
         Some("all") => experiments::all(budget),
         other => {
             if let Some(o) = other {
@@ -65,6 +66,7 @@ fn main() {
                  saddle       saddlepoint vs Chernoff vs simulation\n  \
                  buffering    work-ahead prefetching (\u{a7}6 buffering)\n  \
                  cache        fragment cache: glitch rate vs size vs Zipf skew\n  \
+                 drift        model drift: conformance checker vs zone skew\n  \
                  all          everything, in order"
             );
             std::process::exit(2);

@@ -50,6 +50,8 @@ pub enum Command {
     Disks,
     /// Analyze a fragment-size trace file.
     AnalyzeTrace,
+    /// Render an HTML report from a run's telemetry artifacts.
+    Report,
     /// Print usage.
     Help,
 }
@@ -67,12 +69,17 @@ commands:
              (flags: --disks D --streams N --rounds R --seed S
               --objects K --object-rounds M --zipf SKEW
               --cache-bytes B --cache-policy lru|interval|cost
-              --cache-safety S    [enables cache-aware admission])
+              --cache-safety S    [enables cache-aware admission]
+              --slo               [burn-rate + model-conformance monitor]
+              --trace-out PATH    [per-stream causal trace, Chrome JSON;
+                                   implies --slo])
   plan       disks for a population (flags: --population N --m R --g G --epsilon P)
   worstcase  deterministic worst-case limits (eq. 4.1)
   disks      list built-in drive profiles
   analyze-trace  fit a trace file and derive its admission limit
                  (flags: --file PATH [--delta P])
+  report     render a self-contained HTML page from a run's telemetry
+             (flags: --events PATH [--metrics PATH] --out PATH)
   help       this text
 
 common flags:
@@ -86,10 +93,11 @@ observability:
                        histogram quantiles) at exit
   --events-out PATH    write per-round / per-admission events as JSONL
   -v, --verbose        also stream events to stderr
-  -q, --quiet          suppress the normal report on stdout";
+  -q, --quiet          suppress the normal report on stdout (errors still
+                       go to stderr; with -v, events still stream there)";
 
 /// Flags that take no value; presence means `true`.
-const BOOLEAN_FLAGS: [&str; 2] = ["verbose", "quiet"];
+const BOOLEAN_FLAGS: [&str; 3] = ["verbose", "quiet", "slo"];
 
 /// Parse an argument vector (without the program name).
 ///
@@ -108,6 +116,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, CliError> {
         Some("worstcase") => Command::WorstCase,
         Some("disks") => Command::Disks,
         Some("analyze-trace") => Command::AnalyzeTrace,
+        Some("report") => Command::Report,
         Some("help") | None => Command::Help,
         Some(other) => {
             return Err(CliError::Usage(format!(
@@ -276,6 +285,18 @@ mod tests {
         let p = parse(&v(&["analyze-trace", "--file", "/tmp/x.trace"])).unwrap();
         assert_eq!(p.command, Command::AnalyzeTrace);
         assert_eq!(p.str_or("file", ""), "/tmp/x.trace");
+    }
+
+    #[test]
+    fn report_and_slo_flags_parse() {
+        let p = parse(&v(&["report", "--events", "e.jsonl", "--out", "r.html"])).unwrap();
+        assert_eq!(p.command, Command::Report);
+        assert_eq!(p.str_opt("events"), Some("e.jsonl"));
+        assert_eq!(p.str_opt("out"), Some("r.html"));
+        assert_eq!(p.str_opt("metrics"), None);
+        let p = parse(&v(&["serve", "--slo", "--trace-out", "t.json"])).unwrap();
+        assert!(p.flag("slo"));
+        assert_eq!(p.str_opt("trace-out"), Some("t.json"));
     }
 
     #[test]

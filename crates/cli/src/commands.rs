@@ -25,6 +25,7 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
         Command::Serve => serve(parsed),
         Command::Plan => plan(parsed),
         Command::WorstCase => worst_case(parsed),
+        Command::Report => report(parsed),
     }
 }
 
@@ -280,8 +281,17 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
     // seeded RNG so admission order does not perturb fragment sampling.
     let mut arrivals = StdRng::seed_from_u64(seed ^ 0x5EED_CA7A_0A11_0C8D);
 
+    let slo_enabled = parsed.flag("slo") || parsed.has("trace-out");
+    let target = cfg.target;
     let mut server =
         mzd_server::VideoServer::new(cfg, seed).map_err(|e| CliError::Execution(e.to_string()))?;
+    if slo_enabled {
+        let settings =
+            mzd_server::SloSettings::for_target(target).with_tracing(parsed.has("trace-out"));
+        server
+            .enable_slo(settings)
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+    }
     for _ in 0..streams {
         let object = catalog[zipf.sample(&mut arrivals)].clone();
         server.enqueue_stream(object);
@@ -364,7 +374,69 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
     } else {
         let _ = writeln!(out, "  cache: disabled");
     }
+    if let Some(status) = server.slo_status() {
+        let _ = writeln!(
+            out,
+            "  slo: burn fast {:.2} / slow {:.2} / long {:.2}; {} alert(s), {}",
+            status.burn_fast,
+            status.burn_slow,
+            status.burn_long,
+            status.alerts_raised,
+            if status.over_admission_frozen {
+                "over-admission frozen"
+            } else if status.alert_active {
+                "alert active"
+            } else {
+                "healthy"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  conformance: ks {:.3}, tail exceedance {:.3}, {} drift(s){}",
+            status.ks_statistic,
+            status.tail_exceedance,
+            status.drifts_raised,
+            if status.drift_active {
+                " [model drift active]"
+            } else {
+                ""
+            }
+        );
+        if let Some(path) = parsed.str_opt("trace-out") {
+            let json = server
+                .trace_chrome_json()
+                .ok_or_else(|| CliError::Execution("tracing was not enabled".into()))?;
+            std::fs::write(path, json)
+                .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "  trace: {} span(s) -> {path}", status.trace_spans);
+        }
+    }
     Ok(out)
+}
+
+fn report(parsed: &Parsed) -> Result<String, CliError> {
+    let events_path = parsed
+        .str_opt("events")
+        .ok_or_else(|| CliError::Usage("report needs --events PATH".into()))?;
+    let out_path = parsed
+        .str_opt("out")
+        .ok_or_else(|| CliError::Usage("report needs --out PATH".into()))?;
+    let events_text = std::fs::read_to_string(events_path)
+        .map_err(|e| CliError::Execution(format!("cannot read {events_path}: {e}")))?;
+    let metrics_text = match parsed.str_opt("metrics") {
+        None => None,
+        Some(path) => Some(
+            std::fs::read_to_string(path)
+                .map_err(|e| CliError::Execution(format!("cannot read {path}: {e}")))?,
+        ),
+    };
+    let html = crate::report::render(&events_text, metrics_text.as_deref(), events_path);
+    std::fs::write(out_path, &html)
+        .map_err(|e| CliError::Execution(format!("cannot write {out_path}: {e}")))?;
+    Ok(format!(
+        "report: {} bytes of HTML -> {out_path}\n",
+        html.len()
+    ))
 }
 
 fn plan(parsed: &Parsed) -> Result<String, CliError> {
@@ -507,6 +579,63 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&base), strip(&zeroed));
+    }
+
+    #[test]
+    fn serve_with_slo_reports_monitor_state() {
+        let out = run_line(&[
+            "serve",
+            "--rounds",
+            "30",
+            "--streams",
+            "6",
+            "--disks",
+            "2",
+            "--seed",
+            "7",
+            "--slo",
+        ])
+        .unwrap();
+        assert!(out.contains("slo: burn fast"), "{out}");
+        assert!(out.contains("conformance: ks"), "{out}");
+        // An admitted load never burns its budget in 30 rounds.
+        assert!(out.contains("0 alert(s), healthy"), "{out}");
+    }
+
+    #[test]
+    fn report_round_trips_from_files() {
+        let dir = std::env::temp_dir().join(format!("mzd_report_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        let html = dir.join("report.html");
+        std::fs::write(
+            &events,
+            "{\"event\":\"sim.round\",\"round\":0,\"service_time\":0.8}\n\
+             {\"event\":\"sim.round\",\"round\":1,\"service_time\":0.9}\n",
+        )
+        .unwrap();
+        let out = run_line(&[
+            "report",
+            "--events",
+            events.to_str().unwrap(),
+            "--out",
+            html.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("report:"), "{out}");
+        let page = std::fs::read_to_string(&html).unwrap();
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("<svg"));
+        // Missing flags / unreadable files are usage / execution errors.
+        assert!(matches!(run_line(&["report"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_line(&["report", "--events", events.to_str().unwrap()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_line(&["report", "--events", "/nonexistent/e", "--out", "/tmp/r"]),
+            Err(CliError::Execution(_))
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod report;
 pub mod telemetry;
 
 /// Errors surfaced to the CLI user.

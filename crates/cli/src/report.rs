@@ -1,0 +1,423 @@
+//! `mzd report` — render a run's telemetry artifacts as one
+//! self-contained HTML page.
+//!
+//! Input is the JSONL event stream written by `--events-out` and
+//! (optionally) the metrics snapshot written by `--metrics-out`. Output
+//! is a single HTML file with no external references: styles are inline
+//! and every chart is an inline SVG sparkline, so the page renders
+//! offline and can be attached to a ticket as-is.
+//!
+//! The renderer is deliberately tolerant: unknown event kinds are still
+//! counted, malformed lines are skipped (and reported), and a missing
+//! metrics file just omits that section. It never fails on content —
+//! only on I/O.
+
+use mzd_telemetry::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Numeric per-round series worth charting, as `(event, field, label)`.
+/// Data-driven rather than exhaustive: kinds absent from the stream are
+/// simply not rendered.
+const SERIES: [(&str, &str, &str); 10] = [
+    ("sim.round", "service_time", "round service time (s)"),
+    ("sim.round", "seek", "seek time per round (s)"),
+    ("sim.round", "transfer", "transfer time per round (s)"),
+    ("server.round", "active", "active streams"),
+    (
+        "server.round",
+        "buffer_occupancy",
+        "client buffer occupancy (B)",
+    ),
+    ("slo.round", "burn_fast", "burn rate (fast window)"),
+    ("slo.round", "burn_slow", "burn rate (slow window)"),
+    ("slo.round", "ks", "conformance KS deviation"),
+    ("slo.round", "tail_exceedance", "model tail exceedance"),
+    ("slo.round", "glitches", "glitches per round"),
+];
+
+/// Everything extracted from the event stream.
+struct Digest {
+    /// Lines that parsed as JSON objects with an `event` member.
+    events: u64,
+    /// Lines skipped as malformed.
+    skipped: u64,
+    /// Count per event kind.
+    kinds: BTreeMap<String, u64>,
+    /// Values per charted series, keyed by `(event, field)`.
+    series: BTreeMap<(&'static str, &'static str), Vec<f64>>,
+    /// `slo.alert` / `slo.drift` transitions in stream order, as
+    /// `(kind, transition, round, detail)`.
+    transitions: Vec<(String, String, u64, String)>,
+}
+
+fn digest_events(text: &str) -> Digest {
+    let mut d = Digest {
+        events: 0,
+        skipped: 0,
+        kinds: BTreeMap::new(),
+        series: BTreeMap::new(),
+        transitions: Vec::new(),
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(doc) = json::parse(line) else {
+            d.skipped += 1;
+            continue;
+        };
+        let Some(kind) = doc.get("event").and_then(Value::as_str) else {
+            d.skipped += 1;
+            continue;
+        };
+        d.events += 1;
+        *d.kinds.entry(kind.to_string()).or_insert(0) += 1;
+        for &(event, field, _) in &SERIES {
+            if kind == event {
+                if let Some(x) = doc.get(field).and_then(Value::as_f64) {
+                    d.series.entry((event, field)).or_default().push(x);
+                }
+            }
+        }
+        if kind == "slo.alert" || kind == "slo.drift" {
+            let transition = doc
+                .get("transition")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let round = doc.get("round").and_then(Value::as_f64).unwrap_or(-1.0);
+            let detail = if kind == "slo.alert" {
+                format!(
+                    "burn fast {:.2} / slow {:.2}",
+                    doc.get("burn_fast").and_then(Value::as_f64).unwrap_or(0.0),
+                    doc.get("burn_slow").and_then(Value::as_f64).unwrap_or(0.0),
+                )
+            } else {
+                format!(
+                    "ks {:.3}, tail exceedance {:.3}",
+                    doc.get("ks").and_then(Value::as_f64).unwrap_or(0.0),
+                    doc.get("tail_exceedance")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0),
+                )
+            };
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            d.transitions
+                .push((kind.to_string(), transition, round.max(0.0) as u64, detail));
+        }
+    }
+    d
+}
+
+/// An inline SVG sparkline: fixed 240x48 viewport, polyline normalized
+/// to the series range. A constant series draws as a mid-height line.
+fn sparkline(values: &[f64]) -> String {
+    const W: f64 = 240.0;
+    const H: f64 = 48.0;
+    const PAD: f64 = 3.0;
+    let finite: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.len() < 2 {
+        return String::from("<span class=\"dim\">(too few points)</span>");
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut points = String::new();
+    let last = (finite.len() - 1) as f64;
+    for (i, x) in finite.iter().enumerate() {
+        let px = PAD + (W - 2.0 * PAD) * i as f64 / last;
+        let py = H - PAD - (H - 2.0 * PAD) * (x - lo) / span;
+        let _ = write!(points, "{px:.1},{py:.1} ");
+    }
+    format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">\
+         <polyline fill=\"none\" stroke=\"#2166ac\" stroke-width=\"1.2\" \
+         points=\"{}\"/></svg>",
+        points.trim_end()
+    )
+}
+
+fn stats_row(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.is_empty() {
+        return String::from("&mdash;");
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+    format!(
+        "min {} &middot; mean {} &middot; max {}",
+        fmt_num(lo),
+        fmt_num(mean),
+        fmt_num(hi)
+    )
+}
+
+/// Compact human formatting: integers stay integral, small magnitudes
+/// keep significant digits.
+fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        return String::from("&mdash;");
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        return format!("{x:.0}");
+    }
+    if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn metrics_section(out: &mut String, metrics_text: &str) {
+    let Ok(doc) = json::parse(metrics_text) else {
+        let _ = writeln!(
+            out,
+            "<h2>Metrics snapshot</h2><p class=\"dim\">metrics file did not parse as JSON</p>"
+        );
+        return;
+    };
+    let _ = writeln!(out, "<h2>Metrics snapshot</h2>");
+    for (section, kind) in [("counters", "count"), ("gauges", "value")] {
+        if let Some(map) = doc.get(section).and_then(Value::as_object) {
+            if map.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "<h3>{section}</h3><table><tr><th>name</th><th>{kind}</th></tr>"
+            );
+            for (name, value) in map {
+                let _ = writeln!(
+                    out,
+                    "<tr><td><code>{}</code></td><td>{}</td></tr>",
+                    esc(name),
+                    fmt_num(value.as_f64().unwrap_or(f64::NAN))
+                );
+            }
+            let _ = writeln!(out, "</table>");
+        }
+    }
+    if let Some(map) = doc.get("histograms").and_then(Value::as_object) {
+        if !map.is_empty() {
+            let _ = writeln!(
+                out,
+                "<h3>histograms</h3><table><tr><th>name</th><th>count</th>\
+                 <th>mean</th><th>p50</th><th>p95</th><th>p99</th></tr>"
+            );
+            for (name, h) in map {
+                let cell =
+                    |key: &str| fmt_num(h.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN));
+                let _ = writeln!(
+                    out,
+                    "<tr><td><code>{}</code></td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                    esc(name),
+                    cell("count"),
+                    cell("mean"),
+                    cell("p50"),
+                    cell("p95"),
+                    cell("p99"),
+                );
+            }
+            let _ = writeln!(out, "</table>");
+        }
+    }
+}
+
+/// Render the report page.
+///
+/// `events_text` is the JSONL stream; `metrics_text` the optional
+/// snapshot. Pure function of its inputs (no clocks), so report output
+/// is reproducible byte-for-byte from the same artifacts.
+#[must_use]
+pub fn render(events_text: &str, metrics_text: Option<&str>, source_label: &str) -> String {
+    let d = digest_events(events_text);
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>mzd run report</title>\n<style>\n\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:52em;\
+         padding:0 1em;color:#1a1a1a}\n\
+         h1{font-size:1.4em}h2{font-size:1.15em;margin-top:1.6em}\n\
+         table{border-collapse:collapse;margin:.5em 0}\n\
+         td,th{border:1px solid #ccc;padding:.2em .6em;text-align:left}\n\
+         th{background:#f2f2f2}\n\
+         .dim{color:#777}\n\
+         .spark{display:flex;align-items:center;gap:1em;margin:.3em 0}\n\
+         .spark .label{min-width:16em}\n\
+         .raised{color:#b2182b;font-weight:600}.cleared{color:#1b7837}\n\
+         </style>\n</head>\n<body>\n<h1>mzd run report</h1>\n",
+    );
+    let _ = writeln!(
+        out,
+        "<p>source: <code>{}</code> &mdash; {} events, {} kinds{}</p>",
+        esc(source_label),
+        d.events,
+        d.kinds.len(),
+        if d.skipped > 0 {
+            format!(
+                ", <span class=\"dim\">{} malformed lines skipped</span>",
+                d.skipped
+            )
+        } else {
+            String::new()
+        }
+    );
+
+    let _ = writeln!(out, "<h2>Event counts</h2>");
+    if d.kinds.is_empty() {
+        let _ = writeln!(out, "<p class=\"dim\">no events</p>");
+    } else {
+        let _ = writeln!(out, "<table><tr><th>event</th><th>count</th></tr>");
+        for (kind, count) in &d.kinds {
+            let _ = writeln!(
+                out,
+                "<tr><td><code>{}</code></td><td>{count}</td></tr>",
+                esc(kind)
+            );
+        }
+        let _ = writeln!(out, "</table>");
+    }
+
+    let charted: Vec<_> = SERIES
+        .iter()
+        .filter_map(|&(event, field, label)| {
+            d.series
+                .get(&(event, field))
+                .map(|vs| (event, field, label, vs))
+        })
+        .collect();
+    if !charted.is_empty() {
+        let _ = writeln!(out, "<h2>Round series</h2>");
+        for (event, field, label, values) in charted {
+            let _ = writeln!(
+                out,
+                "<div class=\"spark\"><span class=\"label\">{} <br>\
+                 <code class=\"dim\">{}.{}</code></span>{}<span class=\"dim\">{}</span></div>",
+                esc(label),
+                esc(event),
+                esc(field),
+                sparkline(values),
+                stats_row(values)
+            );
+        }
+    }
+
+    let _ = writeln!(out, "<h2>SLO transitions</h2>");
+    if d.transitions.is_empty() {
+        let _ = writeln!(
+            out,
+            "<p class=\"dim\">none &mdash; no burn-rate alerts, no model drift</p>"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "<table><tr><th>round</th><th>event</th><th>transition</th><th>detail</th></tr>"
+        );
+        for (kind, transition, round, detail) in &d.transitions {
+            let _ = writeln!(
+                out,
+                "<tr><td>{round}</td><td><code>{}</code></td>\
+                 <td class=\"{}\">{}</td><td>{}</td></tr>",
+                esc(kind),
+                esc(transition),
+                esc(transition),
+                esc(detail)
+            );
+        }
+        let _ = writeln!(out, "</table>");
+    }
+
+    if let Some(text) = metrics_text {
+        metrics_section(&mut out, text);
+    }
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> String {
+        let mut s = String::new();
+        for i in 0..16 {
+            let _ = writeln!(
+                s,
+                "{{\"event\":\"sim.round\",\"round\":{i},\"service_time\":{}}}",
+                0.8 + 0.01 * f64::from(i)
+            );
+        }
+        s.push_str("{\"event\":\"slo.alert\",\"transition\":\"raised\",\"round\":9,\"burn_fast\":7.5,\"burn_slow\":6.1}\n");
+        s.push_str("{\"event\":\"slo.drift\",\"transition\":\"cleared\",\"round\":12,\"ks\":0.04,\"tail_exceedance\":0.02}\n");
+        s.push_str("not json at all\n");
+        s
+    }
+
+    #[test]
+    fn renders_well_formed_self_contained_html() {
+        let html = render(&sample_events(), None, "events.jsonl");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+        assert!(html.matches("<svg").count() >= 1, "{html}");
+        assert!(html.contains("sim.round"));
+        assert!(html.contains("1 malformed lines skipped"));
+        assert!(html.contains("class=\"raised\""));
+        assert!(html.contains("class=\"cleared\""));
+        // Self-contained: no external fetches of any kind.
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        assert!(!html.contains("<script") && !html.contains("<link"));
+    }
+
+    #[test]
+    fn metrics_section_renders_tables() {
+        let metrics = "{\"counters\":{\"sim.rounds\":16},\"gauges\":{},\
+                       \"histograms\":{\"sim.round.service_time\":{\"count\":16,\
+                       \"mean\":0.87,\"p50\":0.87,\"p95\":0.94,\"p99\":0.95}}}";
+        let html = render(&sample_events(), Some(metrics), "x");
+        assert!(html.contains("Metrics snapshot"));
+        assert!(html.contains("sim.rounds"));
+        assert!(html.contains("p95"));
+        // A broken metrics file degrades gracefully instead of failing.
+        let html = render("", Some("{nope"), "x");
+        assert!(html.contains("did not parse"));
+    }
+
+    #[test]
+    fn escapes_untrusted_text() {
+        let events = "{\"event\":\"<script>alert(1)</script>\",\"round\":1}\n";
+        let html = render(events, None, "<evil label>");
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+        assert!(html.contains("&lt;evil label&gt;"));
+    }
+
+    #[test]
+    fn sparkline_handles_degenerate_series() {
+        assert!(sparkline(&[]).contains("too few points"));
+        assert!(sparkline(&[1.0]).contains("too few points"));
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert!(flat.contains("<svg"), "{flat}");
+        assert!(!flat.contains("NaN"), "{flat}");
+        let with_nan = sparkline(&[0.1, f64::NAN, 0.3, 0.2]);
+        assert!(!with_nan.contains("NaN"), "{with_nan}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Subprocess tests for the SLO-facing CLI surface: `--trace-out`
+//! Chrome trace export, quiet-mode output pinning, and the `report`
+//! renderer fed by a real run's artifacts.
+
+use mzd_telemetry::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::process::Command;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mzd-slo-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn mzd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mzd"))
+        .args(args)
+        .output()
+        .expect("failed to spawn mzd")
+}
+
+#[test]
+fn trace_out_emits_valid_chrome_trace_json() {
+    let dir = temp_dir("trace");
+    let trace_path = dir.join("trace.json");
+    let output = mzd(&[
+        "serve",
+        "--rounds",
+        "12",
+        "--streams",
+        "6",
+        "--disks",
+        "2",
+        "--seed",
+        "7",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(
+        output.status.success(),
+        "mzd serve --trace-out failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("trace:"), "{stdout}");
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let doc = parse(&text).expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(
+        events.len() >= 40,
+        "expected a real trace, got {} events",
+        events.len()
+    );
+
+    // Every span is a complete event with the required Chrome fields.
+    for event in events {
+        assert_eq!(event.get("ph").and_then(Value::as_str), Some("X"));
+        for key in ["ts", "dur", "pid", "tid"] {
+            let value = event
+                .get(key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("span missing numeric `{key}`: {event:?}"));
+            assert!(value >= 0.0, "{key} = {value}");
+        }
+        assert!(event.get("name").and_then(Value::as_str).is_some());
+        assert!(event.get("args").and_then(|a| a.get("trace")).is_some());
+    }
+
+    // Stream spans (pid 1) are causally linked: all spans of one stream
+    // (tid) share a single trace id, and different streams get distinct
+    // trace ids.
+    let mut per_stream: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for event in events {
+        if event.get("pid").and_then(Value::as_f64) == Some(1.0) {
+            let tid = event.get("tid").and_then(Value::as_f64).unwrap() as u64;
+            let trace = event
+                .get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Value::as_f64)
+                .expect("stream span carries its trace id");
+            per_stream.entry(tid).or_default().push(trace);
+        }
+    }
+    assert!(per_stream.len() >= 2, "expected spans from several streams");
+    let mut roots = Vec::new();
+    for (tid, traces) in &per_stream {
+        let first = traces[0];
+        assert!(
+            traces.iter().all(|&t| t == first),
+            "stream {tid} spans disagree on trace id"
+        );
+        roots.push(first.to_bits());
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    assert_eq!(roots.len(), per_stream.len(), "streams share a trace id");
+}
+
+#[test]
+fn quiet_mode_suppresses_the_report_including_the_analytic_bound_line() {
+    let args = ["simulate", "--n", "16", "--rounds", "40", "--seed", "7"];
+    let loud = mzd(&args);
+    assert!(loud.status.success());
+    let loud_stdout = String::from_utf8_lossy(&loud.stdout);
+    assert!(
+        loud_stdout.contains("analytic Chernoff bound"),
+        "{loud_stdout}"
+    );
+
+    let mut quiet_args = args.to_vec();
+    quiet_args.push("-q");
+    let quiet = mzd(&quiet_args);
+    assert!(quiet.status.success());
+    assert!(
+        quiet.stdout.is_empty(),
+        "-q must print nothing on stdout, got: {}",
+        String::from_utf8_lossy(&quiet.stdout)
+    );
+
+    // -q with -v: stdout stays silent; events still stream to stderr.
+    quiet_args.push("-v");
+    let both = mzd(&quiet_args);
+    assert!(both.status.success());
+    assert!(both.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&both.stderr);
+    assert!(stderr.contains("\"event\":\"sim.round\""), "{stderr}");
+}
+
+#[test]
+fn report_renders_from_a_real_run() {
+    let dir = temp_dir("report");
+    let events_path = dir.join("events.jsonl");
+    let metrics_path = dir.join("metrics.json");
+    let html_path = dir.join("report.html");
+    let run = mzd(&[
+        "serve",
+        "--rounds",
+        "60",
+        "--streams",
+        "6",
+        "--disks",
+        "2",
+        "--seed",
+        "11",
+        "--slo",
+        "--events-out",
+        events_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "-q",
+    ]);
+    assert!(
+        run.status.success(),
+        "mzd serve --slo failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(run.stdout.is_empty(), "-q serve must stay silent");
+
+    let report = mzd(&[
+        "report",
+        "--events",
+        events_path.to_str().unwrap(),
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--out",
+        html_path.to_str().unwrap(),
+    ]);
+    assert!(
+        report.status.success(),
+        "mzd report failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+
+    let html = std::fs::read_to_string(&html_path).expect("report written");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.trim_end().ends_with("</html>"));
+    assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+    assert!(html.matches("<svg").count() >= 2, "expected sparklines");
+    // A --slo run's stream carries per-round SLO health, charted.
+    assert!(html.contains("slo.round"), "slo series missing");
+    assert!(html.contains("server.round"));
+    assert!(html.contains("Metrics snapshot"));
+    // Self-contained: nothing fetched from anywhere.
+    assert!(!html.contains("<script") && !html.contains("<link"));
+    assert!(!html.contains("http://") && !html.contains("https://"));
+}

@@ -36,6 +36,7 @@
 
 pub mod admission;
 pub mod baselines;
+pub mod cdf;
 pub mod chernoff;
 pub mod exact;
 pub mod glitch;
@@ -48,6 +49,7 @@ pub mod worstcase;
 
 pub use admission::AdmissionTable;
 pub use baselines::{BaselineTail, SeekMoments, TailMethod};
+pub use cdf::ServiceTimeCdf;
 pub use chernoff::{ChernoffBound, RoundService};
 pub use exact::p_late_exact;
 pub use mixed::MixedRoundModel;
@@ -213,6 +215,22 @@ impl GuaranteeModel {
     pub fn p_late_exact(&self, n: u32, t: f64) -> Result<f64, CoreError> {
         validate_round_length(t)?;
         exact::p_late_exact(&self.round_service(n)?, t)
+    }
+
+    /// The predicted CDF `F_n(t) = P[T_n ≤ t]` at a single point, by the
+    /// exact inversion — the complement of [`Self::p_late_exact`], with
+    /// `t ≤ 0` mapping to 0. This is the probability-integral-transform
+    /// primitive for online conformance checking; for repeated
+    /// evaluation at a fixed `n` prefer the tabulated
+    /// [`cdf::ServiceTimeCdf`].
+    ///
+    /// # Errors
+    /// Numeric errors propagated from the exact inversion.
+    pub fn service_time_cdf(&self, n: u32, t: f64) -> Result<f64, CoreError> {
+        if !(t > 0.0) {
+            return Ok(0.0);
+        }
+        Ok((1.0 - exact::p_late_exact(&self.round_service(n)?, t)?).clamp(0.0, 1.0))
     }
 
     /// Bound on the per-round glitch probability of one stream among `n` —

@@ -32,6 +32,27 @@ pub enum QualityTarget {
     },
 }
 
+impl QualityTarget {
+    /// The per-stream-round glitch budget `p` this target admits — the
+    /// denominator of the SLO burn rate. For a round-overrun target a
+    /// glitch is tolerated with probability `delta` each round; for the
+    /// per-stream glitch-rate target the stream of `m` rounds tolerates
+    /// `g` glitches, i.e. `g/m` per round.
+    #[must_use]
+    pub fn glitch_budget(&self) -> f64 {
+        match *self {
+            QualityTarget::RoundOverrun { delta } => delta,
+            QualityTarget::GlitchRate { m, g, .. } => {
+                if m == 0 {
+                    0.0
+                } else {
+                    g as f64 / m as f64
+                }
+            }
+        }
+    }
+}
+
 /// Outcome of an admission decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionDecision {
@@ -57,6 +78,10 @@ pub struct AdmissionController {
     /// [`AdmissionController::set_hit_ratio_lower_bound`].
     cache_safety: Option<f64>,
     hit_ratio_lower_bound: f64,
+    /// SLO brake: while a fast-burn alert is active the limit falls back
+    /// to the analytic `N_max` — measured cache evidence is clearly not
+    /// holding up, so over-admission on top of it must stop.
+    over_admission_frozen: bool,
 }
 
 impl AdmissionController {
@@ -84,6 +109,7 @@ impl AdmissionController {
             per_disk_limit,
             cache_safety: None,
             hit_ratio_lower_bound: 0.0,
+            over_admission_frozen: false,
         })
     }
 
@@ -130,13 +156,33 @@ impl AdmissionController {
         };
     }
 
+    /// Freeze (or thaw) cache-aware over-admission. While frozen,
+    /// [`Self::effective_per_disk_limit`] returns the analytic `N_max`
+    /// regardless of the measured hit ratio; the cache-aware
+    /// configuration and the fed measurements are retained, so thawing
+    /// restores inflation instantly. Driven by the SLO layer's fast-burn
+    /// alert.
+    pub fn set_over_admission_frozen(&mut self, frozen: bool) {
+        self.over_admission_frozen = frozen;
+    }
+
+    /// Whether cache-aware over-admission is currently frozen.
+    #[must_use]
+    pub fn over_admission_frozen(&self) -> bool {
+        self.over_admission_frozen
+    }
+
     /// The per-disk limit actually enforced: the model's `N_max`, divided
     /// by the fraction of requests the disks still see once the cache
     /// absorbs its (conservatively measured) share. Equal to
-    /// [`Self::per_disk_limit`] when cache-aware mode is off or no hit
-    /// ratio has been established.
+    /// [`Self::per_disk_limit`] when cache-aware mode is off, no hit
+    /// ratio has been established, or over-admission is frozen by an
+    /// active SLO alert.
     #[must_use]
     pub fn effective_per_disk_limit(&self) -> u32 {
+        if self.over_admission_frozen {
+            return self.per_disk_limit;
+        }
         let Some(safety) = self.cache_safety else {
             return self.per_disk_limit;
         };
@@ -191,9 +237,11 @@ impl AdmissionController {
     pub fn retarget(&mut self, model: &GuaranteeModel) -> Result<(), ServerError> {
         let mut fresh = Self::from_model(model, self.round_length, self.target)?;
         // Cache-aware state survives a workload retarget: the measured hit
-        // ratio describes the traffic, not the disk model.
+        // ratio describes the traffic, not the disk model. Likewise an
+        // active SLO freeze: the alert clears on evidence, not on retune.
         fresh.cache_safety = self.cache_safety;
         fresh.hit_ratio_lower_bound = self.hit_ratio_lower_bound;
+        fresh.over_admission_frozen = self.over_admission_frozen;
         *self = fresh;
         Ok(())
     }
@@ -343,6 +391,133 @@ mod tests {
         c.retarget(&model()).unwrap();
         assert!(c.is_cache_aware());
         assert_eq!(c.effective_per_disk_limit(), effective_before);
+    }
+
+    #[test]
+    fn glitch_budget_matches_target_semantics() {
+        assert_eq!(
+            QualityTarget::RoundOverrun { delta: 0.01 }.glitch_budget(),
+            0.01
+        );
+        let t = QualityTarget::GlitchRate {
+            m: 1200,
+            g: 12,
+            epsilon: 0.01,
+        };
+        assert!((t.glitch_budget() - 0.01).abs() < 1e-15);
+        // Degenerate zero-length stream: no budget rather than a NaN.
+        let t = QualityTarget::GlitchRate {
+            m: 0,
+            g: 3,
+            epsilon: 0.01,
+        };
+        assert_eq!(t.glitch_budget(), 0.0);
+    }
+
+    #[test]
+    fn wilson_bound_edge_cases_feed_sane_limits() {
+        // The measured hit ratio fed into cache-aware admission is the
+        // Wilson lower bound from mzd-cache; pin its edge cases and the
+        // limits they induce end to end.
+        let mut c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::GlitchRate {
+                m: 1200,
+                g: 12,
+                epsilon: 0.01,
+            },
+        )
+        .unwrap();
+        let base = c.per_disk_limit();
+        c.enable_cache_aware(0.0).unwrap();
+
+        // Zero lookups: no evidence, bound 0, no inflation.
+        let h = mzd_cache::hit_ratio_lower_bound(0, 0);
+        assert_eq!(h, 0.0);
+        c.set_hit_ratio_lower_bound(h);
+        assert_eq!(c.effective_per_disk_limit(), base);
+
+        // All misses: bound 0 at any sample size.
+        assert_eq!(mzd_cache::hit_ratio_lower_bound(0, 10_000), 0.0);
+
+        // All hits: the bound stays strictly below 1 (it is a *lower*
+        // confidence bound) and grows with the sample size.
+        let small = mzd_cache::hit_ratio_lower_bound(16, 16);
+        let large = mzd_cache::hit_ratio_lower_bound(100_000, 100_000);
+        assert!(small > 0.0 && small < 1.0);
+        assert!(large > small && large < 1.0);
+
+        // successes > trials is clamped rather than exceeding 1.
+        assert!(mzd_cache::hit_ratio_lower_bound(20, 10) < 1.0);
+    }
+
+    #[test]
+    fn eight_x_cap_boundary() {
+        let mut c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::GlitchRate {
+                m: 1200,
+                g: 12,
+                epsilon: 0.01,
+            },
+        )
+        .unwrap();
+        let base = c.per_disk_limit();
+        c.enable_cache_aware(0.0).unwrap();
+        // Exactly at the cap: h = 1 − 1/8 = 0.875 gives inflation 8×.
+        c.set_hit_ratio_lower_bound(0.875);
+        assert_eq!(c.effective_per_disk_limit(), base * 8);
+        // Just below: strictly less than the cap.
+        c.set_hit_ratio_lower_bound(0.875 - 1e-6);
+        assert!(c.effective_per_disk_limit() < base * 8);
+        // Beyond: clamped to exactly the cap, never more.
+        c.set_hit_ratio_lower_bound(0.99);
+        assert_eq!(c.effective_per_disk_limit(), base * 8);
+        c.set_hit_ratio_lower_bound(1.0);
+        assert_eq!(c.effective_per_disk_limit(), base * 8);
+    }
+
+    #[test]
+    fn freeze_restores_analytic_limit_and_thaws_cleanly() {
+        let mut c = AdmissionController::from_model(
+            &model(),
+            1.0,
+            QualityTarget::GlitchRate {
+                m: 1200,
+                g: 12,
+                epsilon: 0.01,
+            },
+        )
+        .unwrap();
+        let base = c.per_disk_limit();
+        c.enable_cache_aware(0.0).unwrap();
+        c.set_hit_ratio_lower_bound(0.5);
+        let inflated = c.effective_per_disk_limit();
+        assert!(inflated > base);
+        assert!(!c.over_admission_frozen());
+
+        c.set_over_admission_frozen(true);
+        assert!(c.over_admission_frozen());
+        assert_eq!(c.effective_per_disk_limit(), base);
+        // Decisions use the frozen limit.
+        assert_eq!(
+            c.decide(&[base]),
+            AdmissionDecision::Reject {
+                per_disk_limit: base
+            }
+        );
+        // Measurements fed while frozen are retained, not applied.
+        c.set_hit_ratio_lower_bound(0.8);
+        assert_eq!(c.effective_per_disk_limit(), base);
+        // A retarget does not silently thaw.
+        c.retarget(&model()).unwrap();
+        assert!(c.over_admission_frozen());
+        assert_eq!(c.effective_per_disk_limit(), base);
+
+        c.set_over_admission_frozen(false);
+        assert!(c.effective_per_disk_limit() > inflated, "h rose to 0.8");
     }
 
     #[test]

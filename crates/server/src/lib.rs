@@ -22,6 +22,11 @@
 //!   objects are served from memory, concurrent readers coalesce onto one
 //!   in-flight fetch (delayed hits), and admission can inflate the
 //!   per-disk limit by the conservatively measured disk-avoidance ratio.
+//! * **SLO monitoring** ([`slo`]) — an optional layer that watches the
+//!   promised guarantee at run time: glitch-budget burn-rate alerting
+//!   (freezing cache-aware over-admission during fast burns), online
+//!   model-conformance checking against the §3 predicted service-time
+//!   CDF, and per-stream causal tracing exportable as Chrome trace JSON.
 //!
 //! ```
 //! use mzd_server::{QualityTarget, ServerConfig, VideoServer};
@@ -42,11 +47,13 @@
 pub mod admission;
 pub mod buffer;
 pub mod server;
+pub mod slo;
 pub mod striping;
 
 pub use admission::{AdmissionController, AdmissionDecision, QualityTarget};
 pub use buffer::BufferTracker;
 pub use server::{CacheSettings, RoundReport, ServerConfig, StreamHandle, VideoServer};
+pub use slo::{SloSettings, SloStatus};
 pub use striping::StripingLayout;
 
 /// Errors from server configuration and operation.
@@ -77,6 +84,12 @@ impl From<mzd_core::CoreError> for ServerError {
 
 impl From<mzd_sim::SimError> for ServerError {
     fn from(e: mzd_sim::SimError) -> Self {
+        ServerError::Invalid(e.to_string())
+    }
+}
+
+impl From<mzd_slo::SloError> for ServerError {
+    fn from(e: mzd_slo::SloError) -> Self {
         ServerError::Invalid(e.to_string())
     }
 }

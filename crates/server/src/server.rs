@@ -11,12 +11,14 @@
 
 use crate::admission::{AdmissionController, AdmissionDecision, QualityTarget};
 use crate::buffer::BufferTracker;
+use crate::slo::{SloSettings, SloState, SloStatus};
 use crate::striping::StripingLayout;
 use crate::ServerError;
 use mzd_cache::{CacheConfig, CachePolicy, FragmentCache, FragmentKey, Lookup};
 use mzd_core::{GuaranteeModel, ZoneHandling};
 use mzd_disk::Disk;
 use mzd_sim::round::{OverrunPolicy, RoundSimulator, SeekPolicy, SimConfig};
+use mzd_slo::{AlertTransition, DriftTransition, Tracer};
 use mzd_workload::{ObjectSpec, SizeDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -261,6 +263,8 @@ pub struct VideoServer {
     /// (None for uncached requests).
     batch_keys: Vec<Vec<Option<FragmentKey>>>,
     metrics: ServerMetrics,
+    /// Optional SLO layer: burn alerting, conformance, tracing.
+    slo: Option<SloState>,
 }
 
 impl VideoServer {
@@ -321,7 +325,46 @@ impl VideoServer {
             batch_sizes: vec![Vec::new(); disk_count],
             batch_keys: vec![Vec::new(); disk_count],
             metrics: ServerMetrics::new(),
+            slo: None,
         })
+    }
+
+    /// Attach the SLO layer: a burn-rate engine over the admitted glitch
+    /// budget, optional online model-conformance checking, and optional
+    /// causal tracing. Replaces any previously attached SLO state.
+    ///
+    /// # Errors
+    /// [`ServerError::Invalid`] for degenerate burn or conformance
+    /// configuration.
+    pub fn enable_slo(&mut self, settings: SloSettings) -> Result<(), ServerError> {
+        let model = self.cfg.model()?;
+        self.slo = Some(SloState::new(settings, model)?);
+        Ok(())
+    }
+
+    /// A point-in-time SLO summary, `None` until [`Self::enable_slo`].
+    #[must_use]
+    pub fn slo_status(&self) -> Option<SloStatus> {
+        self.slo
+            .as_ref()
+            .map(|s| s.status(self.admission.over_admission_frozen()))
+    }
+
+    /// The recorded causal trace as Chrome trace-event JSON, `None`
+    /// unless SLO tracing is enabled.
+    #[must_use]
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.slo
+            .as_ref()?
+            .tracer
+            .as_ref()
+            .map(Tracer::to_chrome_json)
+    }
+
+    /// Logical time of the round about to run, in microseconds (round
+    /// index × round length) — the tracer's clock.
+    fn trace_now_us(&self) -> u64 {
+        (self.rounds_run as f64 * self.cfg.round_length * 1e6) as u64
     }
 
     /// The configuration in effect.
@@ -436,6 +479,17 @@ impl VideoServer {
                     paused: false,
                 });
                 self.metrics.accepted.inc();
+                let ts = self.trace_now_us();
+                if let Some(slo) = self.slo.as_mut() {
+                    slo.record_stream_span(
+                        id,
+                        "admit",
+                        "admission",
+                        ts,
+                        1,
+                        &[("disk", u64::from(start))],
+                    );
+                }
                 if mzd_telemetry::events_enabled() {
                     mzd_telemetry::emit(
                         mzd_telemetry::Event::new("server.admission")
@@ -478,6 +532,10 @@ impl VideoServer {
         self.waiting.push_back((id, object));
         self.metrics.queued.inc();
         self.metrics.waiting.set(self.waiting.len() as f64);
+        let ts = self.trace_now_us();
+        if let Some(slo) = self.slo.as_mut() {
+            slo.record_stream_span(id, "queue.wait", "admission", ts, 1, &[]);
+        }
         if mzd_telemetry::events_enabled() {
             mzd_telemetry::emit(
                 mzd_telemetry::Event::new("server.admission")
@@ -526,6 +584,17 @@ impl VideoServer {
                     });
                     admitted.push(StreamHandle(id));
                     self.metrics.accepted.inc();
+                    let ts = self.trace_now_us();
+                    if let Some(slo) = self.slo.as_mut() {
+                        slo.record_stream_span(
+                            id,
+                            "admit",
+                            "admission",
+                            ts,
+                            1,
+                            &[("disk", u64::from(start))],
+                        );
+                    }
                     if mzd_telemetry::events_enabled() {
                         mzd_telemetry::emit(
                             mzd_telemetry::Event::new("server.admission")
@@ -560,6 +629,9 @@ impl VideoServer {
         self.load[d as usize] -= 1;
         if let (Some(cache), Some(_)) = (self.cache.as_mut(), s.object.content_id) {
             cache.remove_reader(s.id);
+        }
+        if let Some(slo) = self.slo.as_mut() {
+            slo.forget_stream(s.id);
         }
         self.completed.push(CompletedStream {
             id: s.id,
@@ -602,6 +674,11 @@ impl VideoServer {
         cfg.admission_size_variance = size_variance;
         let model = cfg.model()?;
         self.admission.retarget(&model)?;
+        if let Some(slo) = self.slo.as_mut() {
+            // Conformance must judge observations against the model now
+            // in force; stale CDF tables would flag spurious drift.
+            slo.set_model(model);
+        }
         self.cfg = cfg;
         Ok(())
     }
@@ -666,6 +743,9 @@ impl VideoServer {
         for b in &mut self.batch_keys {
             b.clear();
         }
+        let trace_ts = self.trace_now_us();
+        let round_us = (self.cfg.round_length * 1e6) as u64;
+        let mut stream_rounds = 0u64;
         let mut round_hits = 0u64;
         let mut round_delayed = 0u64;
         let mut round_misses = 0u64;
@@ -678,7 +758,9 @@ impl VideoServer {
             if self.sessions[i].paused {
                 continue;
             }
+            stream_rounds += 1;
             let s = &mut self.sessions[i];
+            let sid = s.id;
             let frag = s.fragments_consumed;
             let d = self.layout.disk_of_fragment(s.start_disk, frag) as usize;
             // Stored objects have one fixed size per fragment (shared by
@@ -690,6 +772,7 @@ impl VideoServer {
             };
             let mut fetch_key = None;
             let mut serve_from_disk = true;
+            let mut disposition = "disk.read";
             if let (Some(cache), Some(cid)) = (self.cache.as_mut(), s.object.content_id) {
                 cache.update_reader(s.id, cid, frag);
                 let key = FragmentKey {
@@ -702,16 +785,19 @@ impl VideoServer {
                         self.metrics.cache_hit_latency.record(0.0);
                         s.buffer.deliver(size);
                         serve_from_disk = false;
+                        disposition = "cache.hit";
                     }
                     Lookup::DelayedHit => {
                         round_delayed += 1;
                         delayed_waiters.entry(key).or_default().push(i);
                         serve_from_disk = false;
+                        disposition = "cache.delayed_hit";
                     }
                     Lookup::Miss => {
                         round_misses += 1;
                         cache.begin_fetch(key);
                         fetch_key = Some(key);
+                        disposition = "disk.fetch";
                     }
                 }
             }
@@ -719,6 +805,26 @@ impl VideoServer {
                 self.batch[d].push(i);
                 self.batch_sizes[d].push(size);
                 self.batch_keys[d].push(fetch_key);
+            }
+            if let Some(slo) = self.slo.as_mut() {
+                // One causal chain per stream per round: the round span
+                // under the stream root, the disposition under the round.
+                if let Some(round_ctx) = slo.record_stream_span(
+                    sid,
+                    "stream.round",
+                    "stream",
+                    trace_ts,
+                    round_us,
+                    &[
+                        ("round", self.rounds_run),
+                        ("disk", d as u64),
+                        ("fragment", u64::from(frag)),
+                    ],
+                ) {
+                    let cat = if serve_from_disk { "disk" } else { "cache" };
+                    let dur = if serve_from_disk { round_us } else { 1 };
+                    slo.record_under(round_ctx, disposition, cat, 1, sid, trace_ts, dur, &[]);
+                }
             }
         }
 
@@ -733,6 +839,18 @@ impl VideoServer {
             let sizes = &self.batch_sizes[d];
             self.metrics.queue_depth.record(sizes.len() as f64);
             let out = sim.run_round_sized(sizes);
+            if let Some(slo) = self.slo.as_mut() {
+                slo.record_disk_span(
+                    d as u64,
+                    "disk.sweep",
+                    trace_ts,
+                    (out.service_time * 1e6) as u64,
+                    &[
+                        ("requests", sizes.len() as u64),
+                        ("late", u64::from(out.late)),
+                    ],
+                );
+            }
             disk_summaries.push(DiskRoundSummary {
                 disk: d as u32,
                 requests: sizes.len() as u32,
@@ -780,6 +898,123 @@ impl VideoServer {
             "every in-flight fetch completes within its round"
         );
 
+        // SLO: burn-rate accounting against the admitted glitch budget,
+        // model conformance on each busy disk's observed sweep time, and
+        // the admission brake on alert transitions.
+        if let Some(slo) = self.slo.as_mut() {
+            if slo.tracer.is_some() {
+                for &gid in &glitched_ids {
+                    slo.record_stream_span(
+                        gid,
+                        "glitch",
+                        "glitch",
+                        trace_ts,
+                        1,
+                        &[("round", self.rounds_run)],
+                    );
+                }
+            }
+            let transition = slo
+                .burn
+                .observe_round(stream_rounds, glitched_ids.len() as u64);
+            slo.metrics.burn_fast.set(slo.burn.burn_fast());
+            slo.metrics.burn_slow.set(slo.burn.burn_slow());
+            slo.metrics.burn_long.set(slo.burn.burn_long());
+            match transition {
+                Some(AlertTransition::Raised) => {
+                    slo.metrics.alerts.inc();
+                    self.admission.set_over_admission_frozen(true);
+                    if mzd_telemetry::events_enabled() {
+                        mzd_telemetry::emit(
+                            mzd_telemetry::Event::new("slo.alert")
+                                .str("transition", "raised")
+                                .u64("round", self.rounds_run)
+                                .f64("burn_fast", slo.burn.burn_fast())
+                                .f64("burn_slow", slo.burn.burn_slow())
+                                .u64(
+                                    "frozen_limit",
+                                    u64::from(self.admission.effective_per_disk_limit()),
+                                ),
+                        );
+                    }
+                }
+                Some(AlertTransition::Cleared) => {
+                    self.admission.set_over_admission_frozen(false);
+                    if mzd_telemetry::events_enabled() {
+                        mzd_telemetry::emit(
+                            mzd_telemetry::Event::new("slo.alert")
+                                .str("transition", "cleared")
+                                .u64("round", self.rounds_run)
+                                .f64("burn_fast", slo.burn.burn_fast()),
+                        );
+                    }
+                }
+                None => {}
+            }
+            if slo.conformance.is_some() {
+                for ds in &disk_summaries {
+                    if ds.requests == 0 {
+                        continue;
+                    }
+                    // PIT: push the observed sweep time through the
+                    // predicted CDF for this batch size. An unbuildable
+                    // table maps to NaN, which the checker counts as an
+                    // exceedance rather than silently dropping.
+                    let u = slo
+                        .cdf_for(ds.requests)
+                        .map_or(f64::NAN, |c| c.evaluate(ds.service_time));
+                    let tr = slo
+                        .conformance
+                        .as_mut()
+                        .expect("conformance checked above")
+                        .observe(u);
+                    if let Some(tr) = tr {
+                        let name = match tr {
+                            DriftTransition::Raised => {
+                                slo.metrics.drifts.inc();
+                                "raised"
+                            }
+                            DriftTransition::Cleared => "cleared",
+                        };
+                        if mzd_telemetry::events_enabled() {
+                            let cc = slo.conformance.as_ref().expect("conformance checked above");
+                            mzd_telemetry::emit(
+                                mzd_telemetry::Event::new("slo.drift")
+                                    .str("transition", name)
+                                    .u64("round", self.rounds_run)
+                                    .u64("disk", u64::from(ds.disk))
+                                    .f64("ks", cc.ks_statistic())
+                                    .f64("tail_exceedance", cc.tail_exceedance()),
+                            );
+                        }
+                    }
+                }
+                let cc = slo.conformance.as_ref().expect("conformance checked above");
+                slo.metrics.ks.set(cc.ks_statistic());
+                slo.metrics.tail.set(cc.tail_exceedance());
+            }
+            if mzd_telemetry::events_enabled() {
+                let cc_ks = slo.conformance.as_ref().map_or(0.0, |c| c.ks_statistic());
+                let cc_tail = slo
+                    .conformance
+                    .as_ref()
+                    .map_or(0.0, |c| c.tail_exceedance());
+                mzd_telemetry::emit(
+                    mzd_telemetry::Event::new("slo.round")
+                        .u64("round", self.rounds_run)
+                        .u64("stream_rounds", stream_rounds)
+                        .u64("glitches", glitched_ids.len() as u64)
+                        .f64("burn_fast", slo.burn.burn_fast())
+                        .f64("burn_slow", slo.burn.burn_slow())
+                        .f64("burn_long", slo.burn.burn_long())
+                        .u64("alert", u64::from(slo.burn.alert_active()))
+                        .u64("frozen", u64::from(self.admission.over_admission_frozen()))
+                        .f64("ks", cc_ks)
+                        .f64("tail_exceedance", cc_tail),
+                );
+            }
+        }
+
         // Advance sessions; retire the finished. The incremental load
         // vector follows each stream's rotation to the next disk.
         let mut completed_ids = Vec::new();
@@ -800,6 +1035,9 @@ impl VideoServer {
                 self.load[old_d] -= 1;
                 if let (Some(cache), Some(_)) = (self.cache.as_mut(), s.object.content_id) {
                     cache.remove_reader(s.id);
+                }
+                if let Some(slo) = self.slo.as_mut() {
+                    slo.forget_stream(s.id);
                 }
                 completed_ids.push(s.id);
                 self.completed.push(CompletedStream {
@@ -1282,6 +1520,40 @@ mod tests {
             let total: u32 = load.iter().sum();
             assert_eq!(total as usize, s.active_streams());
         }
+    }
+
+    #[test]
+    fn slo_layer_attaches_traces_and_stays_quiet_under_admitted_load() {
+        let mut s = server(2, 51);
+        let settings = crate::slo::SloSettings::for_target(s.config().target).with_tracing(true);
+        s.enable_slo(settings).unwrap();
+        assert!(s.slo_status().is_some());
+        for _ in 0..4 {
+            s.open_stream(short_object(10)).unwrap();
+        }
+        for _ in 0..10 {
+            s.run_round();
+        }
+        let status = s.slo_status().unwrap();
+        // Far under the admission limit: the budget cannot be burning.
+        assert!(!status.alert_active);
+        assert_eq!(status.alerts_raised, 0);
+        assert!(!status.over_admission_frozen);
+        // 4 streams × 10 rounds produce at least a round span + a
+        // disposition span each, plus disk sweeps.
+        assert!(status.trace_spans >= 80, "spans {}", status.trace_spans);
+        let json = s.trace_chrome_json().unwrap();
+        let parsed = mzd_telemetry::json::parse(&json).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), status.trace_spans);
+        // Without tracing, no trace is exported but status still works.
+        let mut plain = server(2, 52);
+        plain
+            .enable_slo(crate::slo::SloSettings::for_target(plain.config().target))
+            .unwrap();
+        plain.run_round();
+        assert!(plain.trace_chrome_json().is_none());
+        assert_eq!(plain.slo_status().unwrap().trace_spans, 0);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   intervals;
 //! * [`cache_sweep`] — a shared-catalog variant where Zipf-popular
 //!   streams read through a fragment cache, mapping glitch rate against
-//!   cache size and popularity skew.
+//!   cache size and popularity skew;
+//! * [`drift`] — a drift-injection scenario that skews placement toward
+//!   the inner zones mid-run and measures how quickly the online
+//!   conformance checker ([`mzd_slo`]) notices the model no longer holds.
 //!
 //! Determinism: every entry point takes a seed; identical seeds give
 //! identical results on all platforms (the RNG is `StdRng` and all float
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cache_sweep;
+pub mod drift;
 pub mod engine;
 pub mod experiment;
 pub mod mixed;
@@ -34,6 +38,7 @@ pub mod round;
 pub mod workahead;
 
 pub use cache_sweep::{run_point as run_cache_sweep_point, CacheSweepConfig, CacheSweepPoint};
+pub use drift::{run_drift_scenario, DriftScenarioConfig, DriftScenarioReport};
 pub use engine::{GlitchAccounting, SimulationEngine};
 pub use experiment::{estimate_p_error, estimate_p_late, PErrorEstimate, PLateEstimate};
 pub use mixed::{MixedConfig, MixedRunStats, MixedSimulator};

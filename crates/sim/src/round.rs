@@ -256,6 +256,27 @@ impl RoundSimulator {
         &self.cfg
     }
 
+    /// Swap the placement policy mid-run — the drift-injection primitive:
+    /// a layout migration (or a mis-modeled allocator) changes where new
+    /// requests land while the analytic model still assumes the old law.
+    /// Validates against the disk and recomputes the per-zone selection
+    /// weights; arm state, RNG stream and round counter are untouched, so
+    /// a seeded run stays reproducible across the switch.
+    ///
+    /// # Errors
+    /// [`SimError::Invalid`] if the policy does not fit the disk (e.g.
+    /// more zones than the disk has).
+    pub fn set_placement(&mut self, placement: PlacementPolicy) -> Result<(), SimError> {
+        placement
+            .validate(&self.cfg.disk)
+            .map_err(|e| SimError::Invalid(e.to_string()))?;
+        self.zone_cdf = placement
+            .zone_weights(&self.cfg.disk)
+            .map_err(|e| SimError::Invalid(e.to_string()))?;
+        self.cfg.placement = placement;
+        Ok(())
+    }
+
     /// Simulate one round serving `n` streams (stream indices `0..n`),
     /// with fragment sizes drawn i.i.d. from the configured law.
     pub fn run_round(&mut self, n: u32) -> RoundOutcome {

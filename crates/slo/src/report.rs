@@ -1,0 +1,356 @@
+//! Self-contained HTML report of a run's SLO health.
+//!
+//! [`render_html`] consumes the JSONL event log (`--events-out`) and an
+//! optional metrics snapshot (`--metrics-out`) a run produced and
+//! renders one HTML page: inline-SVG sparklines of service time, glitch
+//! counts and burn rates, a table of every `slo.alert` / `slo.drift`
+//! transition, and the metric catalog. No scripts, no external assets —
+//! the file opens offline in any browser.
+
+use mzd_telemetry::json::{self, Value};
+use std::fmt::Write as _;
+
+/// A time series extracted from the event log.
+#[derive(Debug, Default)]
+struct Series {
+    values: Vec<f64>,
+}
+
+impl Series {
+    fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    fn last(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0f64, f64::max)
+    }
+}
+
+/// Render an inline SVG sparkline (polyline over the series, max 400
+/// points after downsampling). Empty series render an empty frame.
+fn sparkline(s: &Series, width: u32, height: u32) -> String {
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {width} {height}\" width=\"{width}\" height=\"{height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <rect width=\"{width}\" height=\"{height}\" fill=\"#f7f7f9\"/>"
+    );
+    let n = s.values.len();
+    if n >= 2 {
+        // Downsample long series by striding; keeps the polyline light.
+        let stride = n.div_ceil(400);
+        let pts: Vec<f64> = s.values.iter().copied().step_by(stride).collect();
+        let lo = pts.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = if (hi - lo).abs() < 1e-12 {
+            1.0
+        } else {
+            hi - lo
+        };
+        let m = pts.len();
+        let mut path = String::new();
+        for (i, &v) in pts.iter().enumerate() {
+            let x = f64::from(width) * i as f64 / (m - 1) as f64;
+            let y = f64::from(height) * (1.0 - 0.08 - 0.84 * (v - lo) / span);
+            let _ = write!(path, "{}{x:.1},{y:.1}", if i == 0 { "" } else { " " });
+        }
+        let _ = write!(
+            svg,
+            "<polyline points=\"{path}\" fill=\"none\" stroke=\"#2b6cb0\" stroke-width=\"1.5\"/>"
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn f64_of(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+/// One alert/drift transition row.
+#[derive(Debug)]
+struct Transition {
+    kind: &'static str,
+    state: String,
+    round: u64,
+    detail: String,
+}
+
+/// Render the report.
+///
+/// `events_jsonl` is the full text of a JSONL event log; lines that are
+/// empty are skipped, lines that fail to parse are an error (a corrupt
+/// log should be loud, not silently half-rendered). `metrics_json` is
+/// the optional metrics snapshot document.
+///
+/// # Errors
+/// A human-readable message for unparseable input.
+pub fn render_html(events_jsonl: &str, metrics_json: Option<&str>) -> Result<String, String> {
+    let mut service_time = Series::default();
+    let mut glitched = Series::default();
+    let mut active = Series::default();
+    let mut burn_fast = Series::default();
+    let mut ks = Series::default();
+    let mut transitions: Vec<Transition> = Vec::new();
+    let mut event_count = 0u64;
+
+    for (lineno, line) in events_jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("events line {}: {e}", lineno + 1))?;
+        event_count += 1;
+        let Some(name) = v.get("event").and_then(Value::as_str) else {
+            continue;
+        };
+        match name {
+            "sim.round" => {
+                if let Some(t) = f64_of(&v, "service_time") {
+                    service_time.push(t);
+                }
+            }
+            "server.round" => {
+                if let Some(list) = v.get("glitched").and_then(Value::as_array) {
+                    glitched.push(list.len() as f64);
+                }
+                if let Some(a) = f64_of(&v, "active") {
+                    active.push(a);
+                }
+            }
+            "slo.round" => {
+                if let Some(b) = f64_of(&v, "burn_fast") {
+                    burn_fast.push(b);
+                }
+                if let Some(k) = f64_of(&v, "ks") {
+                    ks.push(k);
+                }
+            }
+            "slo.alert" | "slo.drift" => {
+                let state = v
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let round = f64_of(&v, "round").unwrap_or(0.0) as u64;
+                let detail = if name == "slo.alert" {
+                    format!(
+                        "burn fast {:.2}x / slow {:.2}x",
+                        f64_of(&v, "burn_fast").unwrap_or(0.0),
+                        f64_of(&v, "burn_slow").unwrap_or(0.0)
+                    )
+                } else {
+                    format!(
+                        "ks {:.3}, tail exceedance {:.3}",
+                        f64_of(&v, "ks").unwrap_or(0.0),
+                        f64_of(&v, "tail_exceedance").unwrap_or(0.0)
+                    )
+                };
+                transitions.push(Transition {
+                    kind: if name == "slo.alert" {
+                        "alert"
+                    } else {
+                        "drift"
+                    },
+                    state,
+                    round,
+                    detail,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let metrics = match metrics_json {
+        Some(text) => Some(json::parse(text).map_err(|e| format!("metrics snapshot: {e}"))?),
+        None => None,
+    };
+
+    let mut html = String::with_capacity(16 * 1024);
+    html.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>mzd SLO report</title>\n<style>\n\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:60rem;color:#1a202c}\n\
+         h1,h2{font-weight:600}\n\
+         table{border-collapse:collapse;width:100%;margin:0.5rem 0}\n\
+         th,td{border:1px solid #cbd5e0;padding:0.25rem 0.5rem;text-align:left;\
+         font-variant-numeric:tabular-nums}\n\
+         th{background:#edf2f7}\n\
+         .spark{display:flex;gap:2rem;flex-wrap:wrap;margin:1rem 0}\n\
+         .spark figure{margin:0}\n\
+         .spark figcaption{font-size:12px;color:#4a5568}\n\
+         .raise{color:#c53030;font-weight:600}.clear{color:#2f855a}\n\
+         </style>\n</head>\n<body>\n<h1>mzd SLO report</h1>\n",
+    );
+    let _ = writeln!(
+        html,
+        "<p>{event_count} events; {} server rounds, {} sim rounds, {} slo rounds observed.</p>",
+        glitched.values.len(),
+        service_time.values.len(),
+        burn_fast.values.len()
+    );
+
+    html.push_str("<h2>Sparklines</h2>\n<div class=\"spark\">\n");
+    for (title, series, unit) in [
+        ("round service time", &service_time, "s"),
+        ("glitched streams / round", &glitched, ""),
+        ("active streams", &active, ""),
+        ("burn rate (fast window)", &burn_fast, "x budget"),
+        ("PIT KS deviation", &ks, ""),
+    ] {
+        let _ = writeln!(
+            html,
+            "<figure>{}<figcaption>{} — last {:.3}{}, max {:.3}{}</figcaption></figure>",
+            sparkline(series, 220, 48),
+            esc(title),
+            series.last(),
+            unit,
+            series.max(),
+            unit,
+        );
+    }
+    html.push_str("</div>\n");
+
+    html.push_str("<h2>SLO transitions</h2>\n");
+    if transitions.is_empty() {
+        html.push_str("<p>No <code>slo.alert</code> or <code>slo.drift</code> transitions — the run stayed inside its budget and the model held.</p>\n");
+    } else {
+        html.push_str(
+            "<table><tr><th>round</th><th>signal</th><th>state</th><th>detail</th></tr>\n",
+        );
+        for t in &transitions {
+            let class = if t.state == "raise" { "raise" } else { "clear" };
+            let _ = writeln!(
+                html,
+                "<tr><td>{}</td><td>{}</td><td class=\"{class}\">{}</td><td>{}</td></tr>",
+                t.round,
+                esc(t.kind),
+                esc(&t.state),
+                esc(&t.detail)
+            );
+        }
+        html.push_str("</table>\n");
+    }
+
+    if let Some(m) = &metrics {
+        html.push_str("<h2>Metrics snapshot</h2>\n");
+        for (section, header) in [("counters", "count"), ("gauges", "value")] {
+            if let Some(map) = m.get(section).and_then(Value::as_object) {
+                if map.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(
+                    html,
+                    "<h3>{section}</h3>\n<table><tr><th>name</th><th>{header}</th></tr>"
+                );
+                for (name, value) in map {
+                    let _ = writeln!(
+                        html,
+                        "<tr><td>{}</td><td>{}</td></tr>",
+                        esc(name),
+                        value.as_f64().map_or_else(String::new, |x| format!("{x}"))
+                    );
+                }
+                html.push_str("</table>\n");
+            }
+        }
+        if let Some(map) = m.get("histograms").and_then(Value::as_object) {
+            if !map.is_empty() {
+                html.push_str(
+                    "<h3>histograms</h3>\n<table><tr><th>name</th><th>count</th>\
+                     <th>mean</th><th>p99</th><th>max</th></tr>\n",
+                );
+                for (name, h) in map {
+                    let pick = |k: &str| h.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                    let _ = writeln!(
+                        html,
+                        "<tr><td>{}</td><td>{}</td><td>{:.4}</td><td>{:.4}</td><td>{:.4}</td></tr>",
+                        esc(name),
+                        pick("count") as u64,
+                        pick("mean"),
+                        pick("p99"),
+                        pick("max")
+                    );
+                }
+                html.push_str("</table>\n");
+            }
+        }
+    }
+
+    html.push_str("</body>\n</html>\n");
+    Ok(html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_from_minimal_event_log() {
+        let events = concat!(
+            "{\"event\":\"sim.round\",\"round\":0,\"service_time\":0.8}\n",
+            "{\"event\":\"server.round\",\"round\":0,\"active\":28,\"glitched\":[1,2]}\n",
+            "{\"event\":\"slo.round\",\"round\":0,\"burn_fast\":3.5,\"ks\":0.12}\n",
+            "{\"event\":\"slo.alert\",\"state\":\"raise\",\"round\":7,\
+             \"burn_fast\":9.0,\"burn_slow\":6.5}\n",
+            "{\"event\":\"slo.drift\",\"state\":\"clear\",\"round\":40,\
+             \"ks\":0.08,\"tail_exceedance\":0.04}\n",
+        );
+        let html = render_html(events, None).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("slo"));
+        assert!(html.contains("raise"));
+        assert!(html.contains("burn fast 9.00x"));
+        // No scripts, no external fetches: self-contained.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http-equiv"));
+        assert!(!html.contains("src=\"http"));
+    }
+
+    #[test]
+    fn includes_metrics_snapshot_tables() {
+        let metrics = "{\"counters\": {\"sim.rounds\": 10},\
+             \"gauges\": {\"slo.burn_rate.fast\": 1.5},\
+             \"histograms\": {\"sim.round.service_time\": {\"count\": 10,\
+             \"sum\": 8.0, \"mean\": 0.8, \"min\": 0.7, \"max\": 0.9,\
+             \"p50\": 0.8, \"p95\": 0.88, \"p99\": 0.9, \"p999\": 0.9}}}";
+        let html = render_html("", Some(metrics)).unwrap();
+        assert!(html.contains("sim.rounds"));
+        assert!(html.contains("slo.burn_rate.fast"));
+        assert!(html.contains("sim.round.service_time"));
+    }
+
+    #[test]
+    fn corrupt_lines_are_loud() {
+        assert!(render_html("{not json", None).is_err());
+        assert!(render_html("{}", Some("nope")).is_err());
+        // Blank lines and eventless objects are fine.
+        assert!(render_html("\n\n{\"x\": 1}\n", None).is_ok());
+    }
+
+    #[test]
+    fn html_escapes_event_content() {
+        let events = "{\"event\":\"slo.alert\",\"state\":\"<img>\",\"round\":1}\n";
+        let html = render_html(events, None).unwrap();
+        assert!(!html.contains("<img>"));
+        assert!(html.contains("&lt;img&gt;"));
+    }
+}

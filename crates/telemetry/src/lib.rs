@@ -54,7 +54,7 @@ pub use event::{emit, events_enabled, set_sink, Event, EventSink};
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, QUANTILE_LABELS,
 };
-pub use span::Span;
+pub use span::{Span, SpanContext};
 
 /// Time a scope into a histogram of the [`global()`] registry.
 ///

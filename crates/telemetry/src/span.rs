@@ -4,6 +4,47 @@
 use crate::registry::Histogram;
 use std::time::Instant;
 
+/// Causal identity of a span within a trace: the trace it belongs to,
+/// its own span id, and its parent span (`None` for a root).
+///
+/// This is the linkage type the SLO layer's tracer uses to thread one
+/// stream's journey (admission → queueing → cache lookup → disk sweep →
+/// delivery) through parent/child spans; it carries no timing itself —
+/// pair it with [`Span`] for wall-clock histograms or with logical
+/// (round-derived) timestamps for deterministic trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// Trace id shared by every span of one causal chain (by convention
+    /// the stream id).
+    pub trace: u64,
+    /// This span's id, unique within the trace's tracer.
+    pub span: u64,
+    /// The parent span's id; `None` for a root span.
+    pub parent: Option<u64>,
+}
+
+impl SpanContext {
+    /// A root context: no parent.
+    #[must_use]
+    pub fn root(trace: u64, span: u64) -> Self {
+        Self {
+            trace,
+            span,
+            parent: None,
+        }
+    }
+
+    /// A child context: same trace, this context as parent.
+    #[must_use]
+    pub fn child(&self, span: u64) -> Self {
+        Self {
+            trace: self.trace,
+            span,
+            parent: Some(self.span),
+        }
+    }
+}
+
 /// A running timer that records its elapsed seconds into a histogram
 /// when dropped (or explicitly finished).
 ///
@@ -78,6 +119,18 @@ mod tests {
         assert_eq!(r.histogram("t").count(), 1);
         let s = r.histogram("t").snapshot();
         assert!(s.min >= 0.002);
+    }
+
+    #[test]
+    fn span_context_child_links_to_parent() {
+        let root = SpanContext::root(9, 1);
+        assert_eq!(root.parent, None);
+        let child = root.child(2);
+        assert_eq!(child.trace, 9);
+        assert_eq!(child.parent, Some(1));
+        let grandchild = child.child(3);
+        assert_eq!(grandchild.parent, Some(2));
+        assert_eq!(grandchild.trace, 9);
     }
 
     #[test]

@@ -59,7 +59,7 @@ fn run_scenario(cache: Option<CacheSettings>, seed: u64) -> RunStats {
 
     let titles = catalog();
     let zipf = Zipf::new(OBJECTS, 1.0).expect("valid zipf");
-    let mut arrivals = StdRng::seed_from_u64(seed ^ 0xCA11_0F_2_1);
+    let mut arrivals = StdRng::seed_from_u64(seed ^ 0xCA11_0F21);
     for _ in 0..TARGET_STREAMS {
         server.enqueue_stream(titles[zipf.sample(&mut arrivals)].clone());
     }

@@ -10,8 +10,28 @@
 
 use std::path::{Path, PathBuf};
 
-/// Macros banned from library targets.
-const BANNED: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
+/// Macros banned from library targets. `dbg!` is stderr output too —
+/// and the one most likely to slip in from a debugging session.
+const BANNED: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+
+/// Every crate expected under `crates/`. The scan itself discovers
+/// crates automatically; this list only guards the discovery — if a
+/// crate is added without updating it, the test fails loudly instead of
+/// silently skipping the newcomer (and vice versa for removals).
+const EXPECTED_CRATES: [&str; 12] = [
+    "bench",
+    "cache",
+    "cli",
+    "core",
+    "disk",
+    "integration",
+    "numerics",
+    "server",
+    "sim",
+    "slo",
+    "telemetry",
+    "workload",
+];
 
 fn workspace_root() -> PathBuf {
     // This test is registered by crates/integration/Cargo.toml.
@@ -50,6 +70,39 @@ fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
 fn is_exempt_line(line: &str) -> bool {
     let trimmed = line.trim_start();
     trimmed.starts_with("//") || trimmed.starts_with("*")
+}
+
+#[test]
+fn scan_covers_every_workspace_crate() {
+    let crates_dir = workspace_root().join("crates");
+    assert!(crates_dir.is_dir(), "missing {}", crates_dir.display());
+    let mut found: Vec<String> = std::fs::read_dir(&crates_dir)
+        .expect("readable crates dir")
+        .map(|e| {
+            e.expect("readable dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    found.sort();
+    assert_eq!(
+        found, EXPECTED_CRATES,
+        "crates/ changed — update EXPECTED_CRATES so the print scan \
+         provably covers every crate"
+    );
+    // Every expected crate actually contributes sources to the scan
+    // (the integration crate's stub lib.rs counts).
+    for name in EXPECTED_CRATES {
+        let src = crates_dir.join(name).join("src");
+        assert!(src.is_dir(), "crate `{name}` has no src/ to scan");
+        let mut sources = Vec::new();
+        collect_sources(&src, &mut sources);
+        assert!(
+            !sources.is_empty(),
+            "crate `{name}` yields no library sources — scan misconfigured?"
+        );
+    }
 }
 
 #[test]
