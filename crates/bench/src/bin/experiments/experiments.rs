@@ -20,15 +20,22 @@ pub fn fig1(budget: Budget) {
     let mut analytic = Vec::new();
     let mut simulated = Vec::new();
     println!("  N    analytic b_late    simulated p_late    95% CI");
-    for n in 14..=34u32 {
+    // Every N point keeps its historical seed (1000 + N) and the points
+    // are independent, so fanning them out across the worker pool leaves
+    // the printed table byte-identical to the serial run.
+    let ns: Vec<u32> = (14..=34).collect();
+    let points = mzd_par::par_map(&ns, |&n| {
         let a = model.p_late_bound(n, 1.0).expect("valid t");
         let s = estimate_p_late(&cfg, n, rounds, 1_000 + u64::from(n)).expect("valid sim");
+        (n, a, s)
+    });
+    for (n, a, s) in &points {
         println!(
             "  {n:2}   {a:>13.5}      {:>13.5}    [{:.5}, {:.5}]",
             s.p_late, s.ci.lo, s.ci.hi
         );
-        analytic.push((f64::from(n), a));
-        simulated.push((f64::from(n), s.p_late));
+        analytic.push((f64::from(*n), *a));
+        simulated.push((f64::from(*n), s.p_late));
     }
     println!(
         "\n{}",
@@ -71,11 +78,16 @@ pub fn table2(budget: Budget) {
         (31, "1", "0.00678"),
         (32, "1", "0.454"),
     ];
-    for (n, pa, ps) in paper {
+    // As in fig1: independent N points with their historical seeds
+    // (2000 + N), run concurrently, printed in order.
+    let rows = mzd_par::par_map(&paper, |&(n, pa, ps)| {
         let a = model.p_error_bound(n, 1.0, 1200, 12).expect("valid t");
         let e = model.p_error_exact(n, 1.0, 1200, 12).expect("valid t");
         let s =
             estimate_p_error(&cfg, n, 1200, 12, batches, 2_000 + u64::from(n)).expect("valid sim");
+        (n, pa, ps, a, e, s)
+    });
+    for (n, pa, ps, a, e, s) in &rows {
         println!(
             "  {n}   {a:>15.5}   {e:>11.5}     {:>15.5}     {:>6}     {pa} / {ps}",
             s.p_error, s.stream_samples
@@ -765,5 +777,186 @@ pub fn all(budget: Budget) {
             println!("\n{line}\n");
         }
         f(budget);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench-summary: machine-readable perf numbers for CI artifacts.
+
+/// One timed operation at one worker-pool width.
+struct BenchEntry {
+    name: &'static str,
+    jobs: usize,
+    ns_per_op: f64,
+}
+
+/// Median of several timed batches (one warmup batch first). The vendored
+/// criterion shim has no JSON output, so the summary measures with plain
+/// `Instant` loops — coarser than criterion, but stable enough for the
+/// jobs=1 vs jobs=4 speedup ratios CI tracks.
+fn median_ns_per_op(iters: u32, mut op: impl FnMut()) -> f64 {
+    let iters = iters.max(1);
+    for _ in 0..iters.div_ceil(4) {
+        op();
+    }
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn write_summary(path: &str, suite: &str, entries: &[BenchEntry]) {
+    // jobs = 4 speedups only materialize when the host actually has the
+    // threads; record the hardware width so CI readers can interpret a
+    // ~1x ratio on a single-core runner correctly.
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{{\n  \"schema\": \"mzd-bench-summary/v1\",\n  \"suite\": \"{suite}\",\n  \
+         \"host_threads\": {host_threads},\n  \"entries\": [\n"
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = if e.jobs > 1 {
+            entries
+                .iter()
+                .find(|base| base.name == e.name && base.jobs == 1)
+                .map(|base| base.ns_per_op / e.ns_per_op)
+        } else {
+            None
+        };
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"jobs\": {}, \"ns_per_op\": {:.1}",
+            e.name, e.jobs, e.ns_per_op
+        ));
+        if let Some(s) = speedup {
+            body.push_str(&format!(", \"speedup_vs_jobs1\": {s:.2}"));
+        }
+        body.push('}');
+        body.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write bench summary");
+    println!("  wrote {path}");
+}
+
+/// Run a named operation at jobs = 1 and jobs = 4 and push both timings.
+fn timed_pair(entries: &mut Vec<BenchEntry>, name: &'static str, iters: u32, mut op: impl FnMut()) {
+    for jobs in [1usize, 4] {
+        mzd_par::set_jobs(jobs);
+        entries.push(BenchEntry {
+            name,
+            jobs,
+            ns_per_op: median_ns_per_op(iters, &mut op),
+        });
+    }
+    mzd_par::set_jobs(0);
+}
+
+/// Machine-readable micro-benchmark summary: writes `BENCH_core.json`
+/// (solver-side costs) and `BENCH_sim.json` (simulator-side costs) into
+/// the current directory, each entry in ns/op with jobs = 1 vs jobs = 4
+/// speedups for the parallelized paths.
+pub fn bench_summary(budget: Budget) {
+    use std::hint::black_box;
+    println!("bench-summary: ns/op at jobs = 1 vs jobs = 4\n");
+    let model = GuaranteeModel::paper_reference().expect("reference model");
+    let thresholds = [0.0001, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25];
+    let table_iters = if budget.quick { 2 } else { 8 };
+    let cdf_iters = if budget.quick { 2 } else { 8 };
+
+    let mut core = Vec::new();
+    timed_pair(
+        &mut core,
+        "admission_table_late_8_thresholds",
+        table_iters,
+        || {
+            black_box(
+                model
+                    .admission_table_late(black_box(1.0), black_box(&thresholds))
+                    .expect("valid"),
+            );
+        },
+    );
+    timed_pair(
+        &mut core,
+        "admission_table_error_8_thresholds",
+        table_iters,
+        || {
+            black_box(
+                model
+                    .admission_table_error(1.0, 1200, 12, black_box(&thresholds))
+                    .expect("valid"),
+            );
+        },
+    );
+    timed_pair(&mut core, "cdf_build_n28_257pt", cdf_iters, || {
+        black_box(
+            mzd_core::ServiceTimeCdf::with_resolution(&model, black_box(28), 257).expect("builds"),
+        );
+    });
+    write_summary("BENCH_core.json", "core", &core);
+
+    let cfg = SimConfig::paper_reference().expect("reference sim");
+    let rep_rounds = budget.scale(1600);
+    let mut sim = Vec::new();
+    timed_pair(&mut sim, "replicated_p_late_16_reps", 1, || {
+        black_box(
+            mzd_sim::estimate_p_late_par(&cfg, black_box(27), rep_rounds, 16, 42)
+                .expect("valid sim"),
+        );
+    });
+    {
+        let mut one = mzd_sim::RoundSimulator::new(cfg.clone(), 7).expect("valid");
+        sim.push(BenchEntry {
+            name: "simulate_round_n27",
+            jobs: 1,
+            ns_per_op: median_ns_per_op(if budget.quick { 200 } else { 2000 }, || {
+                black_box(one.run_round(27));
+            }),
+        });
+    }
+    {
+        use mzd_cache::{CacheConfig, CachePolicy, FragmentCache, FragmentKey};
+        let mut cache = FragmentCache::new(CacheConfig {
+            capacity_bytes: 4096.0 * 200_000.0,
+            policy: CachePolicy::Lru,
+        })
+        .expect("valid config");
+        for f in 0..4096u32 {
+            cache.insert(
+                FragmentKey {
+                    object: u64::from(f % 32),
+                    fragment: f / 32,
+                },
+                200_000.0,
+                0.02,
+            );
+        }
+        let mut f = 0u32;
+        sim.push(BenchEntry {
+            name: "cache_hit_lookup",
+            jobs: 1,
+            ns_per_op: median_ns_per_op(100_000, || {
+                f = (f + 1) % 128;
+                black_box(cache.lookup(FragmentKey {
+                    object: u64::from(f % 32),
+                    fragment: f / 32,
+                }));
+            }),
+        });
+    }
+    write_summary("BENCH_sim.json", "sim", &sim);
+
+    for e in core.iter().chain(&sim) {
+        println!(
+            "  {:<38} jobs={}  {:>14.1} ns/op",
+            e.name, e.jobs, e.ns_per_op
+        );
     }
 }

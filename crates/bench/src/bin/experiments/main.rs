@@ -1,10 +1,10 @@
 //! Experiment dispatcher: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! experiments <id> [--quick]
+//! experiments <id> [--quick] [--jobs N]
 //!
 //! ids: fig1 table2 ex31 ex32 ex33 wc approx nmax
-//!      ablate-zone ablate-scan ablate-dist cache all
+//!      ablate-zone ablate-scan ablate-dist cache bench-summary all
 //! ```
 
 use mzd_bench::Budget;
@@ -13,12 +13,28 @@ mod experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut id: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(jobs) => mzd_par::set_jobs(jobs),
+                    None => {
+                        eprintln!("--jobs expects a worker count");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            a if !a.starts_with("--") => id = id.or(Some(a)),
+            _ => {}
+        }
+        i += 1;
+    }
     let budget = Budget { quick };
-    let id = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str);
 
     match id {
         Some("fig1") => experiments::fig1(budget),
@@ -40,13 +56,14 @@ fn main() {
         Some("buffering") => experiments::buffering(budget),
         Some("cache") => experiments::cache(budget),
         Some("drift") => experiments::drift(budget),
+        Some("bench-summary") => experiments::bench_summary(budget),
         Some("all") => experiments::all(budget),
         other => {
             if let Some(o) = other {
                 eprintln!("unknown experiment id: {o}\n");
             }
             eprintln!(
-                "usage: experiments <id> [--quick]\n\n\
+                "usage: experiments <id> [--quick] [--jobs N]\n\n\
                  ids:\n  \
                  fig1         Figure 1: analytic vs simulated p_late(N)\n  \
                  table2       Table 2: analytic vs simulated p_error\n  \
@@ -67,7 +84,11 @@ fn main() {
                  buffering    work-ahead prefetching (\u{a7}6 buffering)\n  \
                  cache        fragment cache: glitch rate vs size vs Zipf skew\n  \
                  drift        model drift: conformance checker vs zone skew\n  \
-                 all          everything, in order"
+                 bench-summary  write BENCH_core.json / BENCH_sim.json\n                 \
+                 (ns/op, jobs=1 vs jobs=4 speedups)\n  \
+                 all          everything, in order\n\n\
+                 --jobs N     worker threads for parallel phases\n               \
+                 (results are byte-identical for any N)"
             );
             std::process::exit(2);
         }

@@ -64,7 +64,9 @@ commands:
   nmax       admission limit (flags: --delta P | --m R --g G --epsilon P)
   plate      overrun probability for one N (flags: --n N)
   table      admission lookup table (flags: --thresholds p1,p2,...)
-  simulate   simulated p_late (flags: --n N --rounds R --seed S)
+  simulate   simulated p_late (flags: --n N --rounds R --seed S
+             --reps K   [split the round budget over K independent
+                         replications, run in parallel])
   serve      round-based server on a Zipf catalog
              (flags: --disks D --streams N --rounds R --seed S
               --objects K --object-rounds M --zipf SKEW
@@ -87,6 +89,11 @@ common flags:
   --mean BYTES   fragment-size mean        (default 200000)
   --sd BYTES     fragment-size std. dev.   (default 100000)
   --round SECS   round length              (default 1.0)
+
+execution:
+  --jobs N       worker threads for parallel phases (solver scans, CDF
+                 tabulation, sweep points, replications); default: all
+                 hardware threads. Results are byte-identical for any N.
 
 observability:
   --metrics-out PATH   write a JSON metrics snapshot (counters, gauges,

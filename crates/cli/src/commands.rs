@@ -5,7 +5,7 @@ use crate::args::{Command, Parsed, USAGE};
 use crate::CliError;
 use mzd_core::{GuaranteeModel, WorstCaseRate, ZoneHandling};
 use mzd_disk::{profiles, Disk, DiskProfile};
-use mzd_sim::{estimate_p_late, SimConfig};
+use mzd_sim::{estimate_p_late_par, SimConfig};
 use mzd_workload::{ObjectSpec, SizeDistribution, Zipf};
 use std::fmt::Write as _;
 
@@ -14,6 +14,13 @@ use std::fmt::Write as _;
 /// # Errors
 /// [`CliError`] for usage problems or model failures.
 pub fn run(parsed: &Parsed) -> Result<String, CliError> {
+    // `--jobs N` caps the worker pool for every parallel phase behind
+    // this command (solver scans, CDF grids, sweep points, simulation
+    // replications). 0 — and the flag's absence — means "all hardware
+    // threads". Scientific output is byte-identical for any value.
+    let jobs = usize::try_from(parsed.u64_or("jobs", 0)?)
+        .map_err(|_| CliError::Usage("--jobs is too large".into()))?;
+    mzd_par::set_jobs(jobs);
     match parsed.command {
         Command::Help => Ok(format!("{USAGE}\n")),
         Command::Disks => Ok(list_disks()),
@@ -201,6 +208,9 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
         .map_err(|_| CliError::Usage("--n is too large".into()))?;
     let rounds = parsed.u64_or("rounds", 10_000)?;
     let seed = parsed.u64_or("seed", 42)?;
+    let reps = u32::try_from(parsed.u64_or("reps", 1)?)
+        .map_err(|_| CliError::Usage("--reps is too large".into()))?
+        .max(1);
     let cfg = SimConfig {
         disk: disk_of(parsed)?,
         sizes: SizeDistribution::gamma(mean, sd * sd)
@@ -208,12 +218,13 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
         round_length: t,
         ..SimConfig::paper_reference()?
     };
-    let est = estimate_p_late(&cfg, n, rounds, seed)?;
+    let est = estimate_p_late_par(&cfg, n, rounds, reps, seed)?;
     let bound = model_of(parsed)?.p_late_bound(n, t)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "simulated {rounds} rounds at N = {n}, t = {t} s (seed {seed}):"
+        "simulated {rounds} rounds at N = {n}, t = {t} s (seed {seed}, {reps} replication{}):",
+        if reps == 1 { "" } else { "s" }
     );
     let _ = writeln!(
         out,

@@ -1,0 +1,49 @@
+//! End-to-end determinism check for `--jobs`: the worker count must
+//! never change what the tool reports. Runs the real `mzd` binary with
+//! a replicated simulation at different `--jobs` values and demands
+//! byte-identical stdout.
+
+use std::process::Command;
+
+fn simulate_stdout(jobs: &str) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_mzd"))
+        .args([
+            "simulate", "--n", "27", "--rounds", "400", "--reps", "4", "--seed", "9", "--jobs",
+            jobs,
+        ])
+        .output()
+        .expect("failed to spawn mzd");
+    assert!(
+        output.status.success(),
+        "mzd simulate --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn simulate_output_is_identical_across_job_counts() {
+    let serial = simulate_stdout("1");
+    assert!(
+        serial.contains("4 replications"),
+        "expected the replication count in the report: {serial}"
+    );
+    for jobs in ["2", "8"] {
+        let parallel = simulate_stdout(jobs);
+        assert_eq!(
+            serial, parallel,
+            "--jobs {jobs} changed the simulated estimate"
+        );
+    }
+}
+
+#[test]
+fn bad_jobs_value_is_a_usage_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_mzd"))
+        .args(["simulate", "--n", "20", "--rounds", "50", "--jobs", "many"])
+        .output()
+        .expect("failed to spawn mzd");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--jobs"), "stderr: {stderr}");
+}

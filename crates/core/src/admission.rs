@@ -31,6 +31,37 @@ pub fn n_max<F: FnMut(u32) -> f64>(mut quality: F, threshold: f64) -> u32 {
     best
 }
 
+/// Candidate block evaluated per parallel round of the admission scans:
+/// wide enough to keep every worker busy past the ramp-up, narrow enough
+/// that the overshoot past the first violation stays a handful of probes.
+fn scan_block(jobs: usize) -> usize {
+    (jobs * 8).max(32)
+}
+
+/// [`n_max`] with the candidate probes fanned out across the worker
+/// pool. Returns exactly what the serial scan returns: candidates are
+/// evaluated in fixed blocks and the answer is read off the *first*
+/// violation in candidate order, so scheduling cannot change the result
+/// — only non-monotone `quality` past the first violation is probed
+/// differently, and those probes never influence the answer.
+///
+/// Worth it when one probe costs a Chernoff optimization (µs–ms);
+/// pointless for trivially cheap bounds.
+pub fn n_max_par<F: Fn(u32) -> f64 + Sync>(quality: F, threshold: f64) -> u32 {
+    let mut from = 0u32;
+    while from < N_SEARCH_CAP {
+        let block = scan_block(mzd_par::jobs()).min((N_SEARCH_CAP - from) as usize);
+        let probes = mzd_par::par_map_indexed(block, |k| quality(from + 1 + k as u32));
+        // NaN counts as a violation, exactly like the serial scan's
+        // `quality(n) <= threshold` failing.
+        if let Some(k) = probes.iter().position(|&q| !(q <= threshold)) {
+            return from + k as u32;
+        }
+        from += block as u32;
+    }
+    N_SEARCH_CAP
+}
+
 /// A precomputed tolerance → `N_max` lookup table (§5: "a lookup table
 /// with precomputed values of N_max for different tolerance thresholds …
 /// incurs almost no run-time overhead").
@@ -54,18 +85,7 @@ impl AdmissionTable {
         thresholds: &[f64],
         mut quality: F,
     ) -> Result<Self, CoreError> {
-        if thresholds.is_empty() {
-            return Err(CoreError::Invalid("threshold list is empty".into()));
-        }
-        let mut prev = 0.0;
-        for &t in thresholds {
-            if !(t > prev) || t > 1.0 {
-                return Err(CoreError::Invalid(format!(
-                    "thresholds must be strictly ascending in (0, 1], got {t} after {prev}"
-                )));
-            }
-            prev = t;
-        }
+        Self::validate(thresholds)?;
         // The quality bound is monotone in n, so N_max is nondecreasing in
         // the threshold: resume each search where the previous stopped.
         let mut n_max_col = Vec::with_capacity(thresholds.len());
@@ -80,6 +100,61 @@ impl AdmissionTable {
             thresholds: thresholds.to_vec(),
             n_max: n_max_col,
         })
+    }
+
+    /// [`Self::build`] with the quality probes fanned out across the
+    /// worker pool. Candidates are evaluated in blocks until one fails
+    /// the *largest* threshold, caching every probe; the serial resumed
+    /// scan then replays over the cache. Since the serial scan never
+    /// probes past the largest threshold's first violation, the cache
+    /// covers everything it reads and the resulting table is identical.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] for an empty, unsorted or out-of-range
+    /// threshold list.
+    pub fn build_par<F: Fn(u32) -> f64 + Sync>(
+        thresholds: &[f64],
+        quality: F,
+    ) -> Result<Self, CoreError> {
+        Self::validate(thresholds)?;
+        let thr_max = *thresholds.last().expect("validated non-empty");
+        let mut cache: Vec<f64> = Vec::new();
+        let mut crossed = false;
+        while !crossed && (cache.len() as u32) < N_SEARCH_CAP {
+            let from = cache.len() as u32;
+            let block = scan_block(mzd_par::jobs()).min((N_SEARCH_CAP - from) as usize);
+            let probes = mzd_par::par_map_indexed(block, |k| quality(from + 1 + k as u32));
+            crossed = probes.iter().any(|&q| !(q <= thr_max));
+            cache.extend(probes);
+        }
+        let mut n_max_col = Vec::with_capacity(thresholds.len());
+        let mut n = 0u32;
+        for &thr in thresholds {
+            while n < N_SEARCH_CAP && cache.get(n as usize).is_some_and(|&q| q <= thr) {
+                n += 1;
+            }
+            n_max_col.push(n);
+        }
+        Ok(Self {
+            thresholds: thresholds.to_vec(),
+            n_max: n_max_col,
+        })
+    }
+
+    fn validate(thresholds: &[f64]) -> Result<(), CoreError> {
+        if thresholds.is_empty() {
+            return Err(CoreError::Invalid("threshold list is empty".into()));
+        }
+        let mut prev = 0.0;
+        for &t in thresholds {
+            if !(t > prev) || t > 1.0 {
+                return Err(CoreError::Invalid(format!(
+                    "thresholds must be strictly ascending in (0, 1], got {t} after {prev}"
+                )));
+            }
+            prev = t;
+        }
+        Ok(())
     }
 
     /// The admission limit for the given tolerance: the `N_max` of the
@@ -143,6 +218,37 @@ mod tests {
         );
         // Stops at the first violation: n = 1, 2, 3 pass, 4 fails.
         assert_eq!(evals, 4);
+    }
+
+    #[test]
+    fn parallel_n_max_matches_serial() {
+        let quality = |n: u32| f64::from(n) / 100.0;
+        for thr in [0.001, 0.25, 0.573, 1.0] {
+            assert_eq!(n_max_par(quality, thr), n_max(quality, thr), "thr {thr}");
+        }
+        // Unbounded quality: both scans hit the cap.
+        assert_eq!(n_max_par(|_| 0.0, 0.5), n_max(|_| 0.0, 0.5));
+        // NaN is a violation in both scans.
+        let spiky = |n: u32| {
+            if n == 7 {
+                f64::NAN
+            } else {
+                f64::from(n) / 100.0
+            }
+        };
+        assert_eq!(n_max_par(spiky, 0.5), 6);
+        assert_eq!(n_max(spiky, 0.5), 6);
+    }
+
+    #[test]
+    fn parallel_table_matches_serial() {
+        let quality = |n: u32| (f64::from(n) / 37.0).powi(2);
+        let thresholds = [0.01, 0.1, 0.5, 0.9];
+        let serial = AdmissionTable::build(&thresholds, quality).unwrap();
+        let parallel = AdmissionTable::build_par(&thresholds, quality).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(AdmissionTable::build_par(&[], quality).is_err());
+        assert!(AdmissionTable::build_par(&[0.5, 0.2], quality).is_err());
     }
 
     #[test]

@@ -72,16 +72,25 @@ impl ServiceTimeCdf {
         let service = model.round_service(n)?;
         let lo = service.seek_constant();
         let hi = service.mean() + 10.0 * service.variance().sqrt();
+        // The expensive t-independent factor φ(ω) is tabulated once and
+        // shared by every grid point; the per-point work is then a cheap
+        // rotation sweep, fanned out across the worker pool. Each grid
+        // point is a pure function of its index, and the running-maximum
+        // clamp runs serially afterwards, so the table is byte-identical
+        // for any worker count.
+        let quad = exact::CfQuadrature::new(&service, hi)?;
+        let raw = mzd_par::par_map_indexed(points, |i| {
+            let t = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+            if t > 0.0 {
+                quad.p_late(t).map(|p| (1.0 - p).clamp(0.0, 1.0))
+            } else {
+                Ok(0.0)
+            }
+        });
         let mut values = Vec::with_capacity(points);
         let mut running = 0.0f64;
-        for i in 0..points {
-            let t = lo + (hi - lo) * i as f64 / (points - 1) as f64;
-            let cdf = if t > 0.0 {
-                (1.0 - exact::p_late_exact(&service, t)?).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            running = running.max(cdf);
+        for cdf in raw {
+            running = running.max(cdf?);
             values.push(running);
         }
         Ok(Self {
@@ -134,6 +143,14 @@ impl ServiceTimeCdf {
     pub fn grid_hi(&self) -> f64 {
         self.hi
     }
+
+    /// The raw tabulated grid values, for determinism audits: two builds
+    /// of the same model must agree bit-for-bit regardless of how many
+    /// workers computed them.
+    #[must_use]
+    pub fn grid_values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +198,23 @@ mod tests {
             assert!(
                 (got - want).abs() < 0.02,
                 "F({t}): interpolated {got}, exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cf_table_matches_per_point_inversion() {
+        let service = model().round_service(8).unwrap();
+        let hi = service.mean() + 10.0 * service.variance().sqrt();
+        let quad = exact::CfQuadrature::new(&service, hi).unwrap();
+        let mean = service.mean();
+        let sd = service.variance().sqrt();
+        for t in [mean - sd, mean, mean + sd, mean + 4.0 * sd, hi] {
+            let shared = quad.p_late(t).unwrap();
+            let per_point = exact::p_late_exact(&service, t).unwrap();
+            assert!(
+                (shared - per_point).abs() < 1e-6,
+                "p_late({t}): shared table {shared}, per-point {per_point}"
             );
         }
     }

@@ -223,7 +223,7 @@ pub struct StreamClass {
 ///
 /// # Errors
 /// [`CoreError::Invalid`] for invalid fractions, `t`, or `delta`.
-pub fn n_max_heterogeneous<F: Fn(u32) -> f64>(
+pub fn n_max_heterogeneous<F: Fn(u32) -> f64 + Sync>(
     classes: &[StreamClass],
     t: f64,
     delta: f64,
@@ -275,7 +275,7 @@ pub fn n_max_heterogeneous<F: Fn(u32) -> f64>(
             .map(|m| m.p_late_bound(t).probability)
             .unwrap_or(1.0)
     };
-    Ok(crate::admission::n_max(bound_for, delta))
+    Ok(crate::admission::n_max_par(bound_for, delta))
 }
 
 #[cfg(test)]

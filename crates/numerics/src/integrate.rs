@@ -152,6 +152,28 @@ impl GaussLegendre {
         half * acc
     }
 
+    /// The explicit `(node, weight)` pairs of [`Self::integrate_panels`]
+    /// over `[a, b]` with `pieces` equal panels, in evaluation order —
+    /// `integrate_panels(f, …) == Σ w_k · f(x_k)` exactly. Lets a caller
+    /// evaluate an expensive integrand once per node and reuse the
+    /// samples across many related integrals (e.g. one characteristic
+    /// function inverted at many grid points).
+    #[must_use]
+    pub fn panel_points(&self, a: f64, b: f64, pieces: usize) -> Vec<(f64, f64)> {
+        let pieces = pieces.max(1);
+        let h = (b - a) / pieces as f64;
+        let mut points = Vec::with_capacity(pieces * self.nodes.len());
+        for k in 0..pieces {
+            let lo = a + h * k as f64;
+            let half = 0.5 * h;
+            let mid = lo + half;
+            for (&x, &w) in self.nodes.iter().zip(&self.weights) {
+                points.push((mid + half * x, half * w));
+            }
+        }
+        points
+    }
+
     /// Integrate `f` over `[a, b]` split into `pieces` equal panels —
     /// useful when the integrand has moderate curvature variation across
     /// the interval (e.g. densities peaked near one end).
@@ -263,6 +285,22 @@ mod tests {
             let s: f64 = g.weights.iter().sum();
             assert_close(s, 2.0, 1e-12);
             assert_eq!(g.order(), n);
+        }
+    }
+
+    #[test]
+    fn panel_points_reproduce_panel_integration() {
+        let g = GaussLegendre::new(16).unwrap();
+        let f = |x: f64| (x * 1.7).sin() * (-0.3 * x).exp();
+        for pieces in [1usize, 3, 17] {
+            let direct = g.integrate_panels(f, 0.25, 9.5, pieces);
+            let points = g.panel_points(0.25, 9.5, pieces);
+            assert_eq!(points.len(), pieces * g.order());
+            let via_points: f64 = points.iter().map(|&(x, w)| w * f(x)).sum();
+            assert_close(via_points, direct, 1e-13);
+            // Weights cover the interval.
+            let total_w: f64 = points.iter().map(|&(_, w)| w).sum();
+            assert_close(total_w, 9.5 - 0.25, 1e-12);
         }
     }
 }

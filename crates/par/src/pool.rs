@@ -1,0 +1,296 @@
+//! The work-stealing execution core.
+//!
+//! A process-global set of lazily spawned worker threads executes *task
+//! groups*. A group covers the index range `0..len`, pre-partitioned
+//! into one contiguous slice per participating worker; a worker that
+//! drains its slice steals the upper half of the fullest remaining
+//! slice (classic range splitting, one CAS per transfer). The calling
+//! thread is always worker 0 and participates fully, so a group with a
+//! single worker runs the identical claim/steal loop inline — serial
+//! execution is the one-worker special case of the same code path, not
+//! a separate branch.
+//!
+//! Helpers borrow the caller's closure through a lifetime-erased raw
+//! pointer; the group's close/wait protocol guarantees the borrow
+//! outlives every helper's use of it (helpers register before touching
+//! the task and the caller blocks until all registered helpers have
+//! left, even on unwind).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on pool threads: enough to saturate any host this
+/// workspace targets without letting a pathological `jobs` request spawn
+/// unbounded threads.
+const MAX_POOL_THREADS: usize = 64;
+
+fn pack(pos: u32, end: u32) -> u64 {
+    (u64::from(pos) << 32) | u64::from(end)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Lifetime-erased pointer to the caller's per-index task. Validity is
+/// enforced by the [`Group`] close/wait protocol, not the type system.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are fine) and the group
+// protocol guarantees it outlives every dereference.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct GroupSync {
+    /// Set by the caller once its own loop is done; late-starting
+    /// helpers must not touch the task afterwards.
+    closed: bool,
+    /// Helpers currently inside the claim/steal loop.
+    active: usize,
+}
+
+/// One parallel map invocation: per-worker index ranges plus the
+/// join/termination state.
+pub(crate) struct Group {
+    task: TaskPtr,
+    ranges: Box<[AtomicU64]>,
+    sync: Mutex<GroupSync>,
+    done: Condvar,
+    steals: AtomicU64,
+}
+
+impl Group {
+    fn new(workers: usize, len: usize, task: &(dyn Fn(usize) + Sync)) -> Self {
+        assert!(len < u32::MAX as usize, "group too large");
+        let ranges = (0..workers)
+            .map(|w| {
+                let lo = (w * len / workers) as u32;
+                let hi = ((w + 1) * len / workers) as u32;
+                AtomicU64::new(pack(lo, hi))
+            })
+            .collect();
+        // SAFETY: lifetime erasure only — the close/wait protocol keeps
+        // every dereference inside the caller's borrow (see module docs).
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        Self {
+            task: TaskPtr(task as *const _),
+            ranges,
+            sync: Mutex::new(GroupSync {
+                closed: false,
+                active: 0,
+            }),
+            done: Condvar::new(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim the next index of worker `me`'s own range, if any.
+    fn claim(&self, me: usize) -> Option<usize> {
+        loop {
+            let cur = self.ranges[me].load(Ordering::Acquire);
+            let (pos, end) = unpack(cur);
+            if pos >= end {
+                return None;
+            }
+            if self.ranges[me]
+                .compare_exchange_weak(cur, pack(pos + 1, end), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(pos as usize);
+            }
+        }
+    }
+
+    /// Steal the upper half of the fullest other range into `me`'s own
+    /// (for a single remaining index: take it whole). Returns `false`
+    /// when every other range is empty — the group is out of unclaimed
+    /// work and the worker can leave.
+    fn steal(&self, me: usize) -> bool {
+        loop {
+            let mut best: Option<(usize, u64, u32)> = None;
+            for (v, range) in self.ranges.iter().enumerate() {
+                if v == me {
+                    continue;
+                }
+                let cur = range.load(Ordering::Acquire);
+                let (pos, end) = unpack(cur);
+                let rem = end.saturating_sub(pos);
+                if rem >= 1 && best.map_or(true, |(_, _, r)| rem > r) {
+                    best = Some((v, cur, rem));
+                }
+            }
+            let Some((victim, cur, rem)) = best else {
+                return false;
+            };
+            let (pos, end) = unpack(cur);
+            let mid = pos + rem / 2;
+            if self.ranges[victim]
+                .compare_exchange(cur, pack(pos, mid), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.ranges[me].store(pack(mid, end), Ordering::Release);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            // Lost the race; rescan.
+        }
+    }
+
+    /// The claim/steal loop every participant runs.
+    fn work(&self, me: usize) {
+        // SAFETY: callers hold the group open (registered helper or the
+        // owning caller itself) for the duration of this call.
+        let task = unsafe { &*self.task.0 };
+        loop {
+            if let Some(i) = self.claim(me) {
+                task(i);
+                continue;
+            }
+            if !self.steal(me) {
+                break;
+            }
+        }
+    }
+}
+
+/// Decrements `active` (and notifies the waiting caller) even if the
+/// helper's task unwinds.
+struct HelperGuard<'a>(&'a Group);
+
+impl Drop for HelperGuard<'_> {
+    fn drop(&mut self) {
+        let mut sync = self.0.sync.lock().expect("group lock");
+        sync.active -= 1;
+        if sync.active == 0 {
+            self.0.done.notify_all();
+        }
+    }
+}
+
+/// Closes the group and waits out registered helpers even if the
+/// caller's own loop unwinds — helpers must never outlive the borrow.
+struct CallerGuard<'a>(&'a Group);
+
+impl Drop for CallerGuard<'_> {
+    fn drop(&mut self) {
+        let mut sync = self.0.sync.lock().expect("group lock");
+        sync.closed = true;
+        while sync.active > 0 {
+            sync = self.0.done.wait(sync).expect("group lock");
+        }
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Ticket>,
+    idle: usize,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+}
+
+struct Ticket {
+    group: Arc<Group>,
+    worker: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            idle: 0,
+            spawned: 0,
+        }),
+        work_available: Condvar::new(),
+    })
+}
+
+fn worker_main() {
+    let pool = pool();
+    loop {
+        let ticket = {
+            let mut state = pool.state.lock().expect("pool lock");
+            loop {
+                if let Some(t) = state.queue.pop_front() {
+                    break t;
+                }
+                state.idle += 1;
+                state = pool.work_available.wait(state).expect("pool lock");
+                state.idle -= 1;
+            }
+        };
+        run_ticket(&ticket);
+    }
+}
+
+fn run_ticket(ticket: &Ticket) {
+    {
+        let mut sync = ticket.group.sync.lock().expect("group lock");
+        if sync.closed {
+            // The caller already finished the group; the task borrow may
+            // be gone, so this ticket is void.
+            return;
+        }
+        sync.active += 1;
+    }
+    let _guard = HelperGuard(&ticket.group);
+    let start = std::time::Instant::now();
+    ticket.group.work(ticket.worker);
+    mzd_telemetry::global()
+        .histogram("par.worker.busy_seconds")
+        .record(start.elapsed().as_secs_f64());
+}
+
+/// Run `task(i)` for every `i in 0..len` across `workers` participants
+/// (the calling thread plus up to `workers - 1` pool helpers). Returns
+/// only once every index has executed and no helper still holds the
+/// task borrow. Each index runs exactly once; completion order is
+/// scheduling-dependent, which is why callers must route results
+/// through per-index slots.
+pub(crate) fn run_group(workers: usize, len: usize, task: &(dyn Fn(usize) + Sync)) {
+    let workers = workers.clamp(1, len.max(1));
+    let group = Arc::new(Group::new(workers, len, task));
+    if workers > 1 {
+        submit_helpers(&group, workers - 1);
+    }
+    {
+        let _caller = CallerGuard(&group);
+        group.work(0);
+    }
+    let telemetry = mzd_telemetry::global();
+    telemetry.counter("par.groups").inc();
+    telemetry.counter("par.tasks").add(len as u64);
+    let steals = group.steals.load(Ordering::Relaxed);
+    if steals > 0 {
+        telemetry.counter("par.steals").add(steals);
+    }
+}
+
+fn submit_helpers(group: &Arc<Group>, helpers: usize) {
+    let pool = pool();
+    let to_spawn = {
+        let mut state = pool.state.lock().expect("pool lock");
+        for worker in 1..=helpers {
+            state.queue.push_back(Ticket {
+                group: Arc::clone(group),
+                worker,
+            });
+        }
+        let wanted = state.queue.len().saturating_sub(state.idle);
+        let to_spawn = wanted.min(MAX_POOL_THREADS.saturating_sub(state.spawned));
+        state.spawned += to_spawn;
+        to_spawn
+    };
+    pool.work_available.notify_all();
+    for _ in 0..to_spawn {
+        std::thread::Builder::new()
+            .name("mzd-par".into())
+            .spawn(worker_main)
+            .expect("spawn pool worker");
+    }
+}

@@ -249,29 +249,33 @@ pub fn run_point(cfg: &CacheSweepConfig, seed: u64) -> Result<CacheSweepPoint, S
 
 /// Run the full grid: every `(cache size, skew)` combination on the base
 /// configuration. Each point uses a seed derived from `seed` and its grid
-/// coordinates, so the grid is reproducible and points are independent.
+/// coordinates, so the grid is reproducible and points are independent —
+/// which also makes them safe to fan out across the worker pool. Results
+/// come back in grid order (cache sizes outer, skews inner), identical
+/// to the serial nesting for any worker count.
 ///
 /// # Errors
-/// Propagates the first point's error, if any.
+/// Propagates the first (in grid order) failing point's error, if any.
 pub fn sweep(
     base: &CacheSweepConfig,
     cache_sizes: &[f64],
     skews: &[f64],
     seed: u64,
 ) -> Result<Vec<CacheSweepPoint>, SimError> {
-    let mut points = Vec::with_capacity(cache_sizes.len() * skews.len());
-    for (i, &bytes) in cache_sizes.iter().enumerate() {
-        for (j, &skew) in skews.iter().enumerate() {
-            let mut cfg = base.clone();
-            cfg.cache_bytes = bytes;
-            cfg.zipf_skew = skew;
-            let point_seed = seed
-                .wrapping_add((i as u64) << 32)
-                .wrapping_add(j as u64 + 1);
-            points.push(run_point(&cfg, point_seed)?);
-        }
-    }
-    Ok(points)
+    let cells: Vec<(usize, usize)> = (0..cache_sizes.len())
+        .flat_map(|i| (0..skews.len()).map(move |j| (i, j)))
+        .collect();
+    mzd_par::par_map(&cells, |&(i, j)| {
+        let mut cfg = base.clone();
+        cfg.cache_bytes = cache_sizes[i];
+        cfg.zipf_skew = skews[j];
+        let point_seed = seed
+            .wrapping_add((i as u64) << 32)
+            .wrapping_add(j as u64 + 1);
+        run_point(&cfg, point_seed)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

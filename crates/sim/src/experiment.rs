@@ -55,6 +55,35 @@ pub fn estimate_p_late(
     })
 }
 
+/// [`estimate_p_late`] with the `rounds` budget split over `reps`
+/// independent replications executed across the worker pool (see
+/// [`crate::engine::run_replicated_windows`]). The estimate is a pure
+/// function of `(cfg, n, rounds, reps, seed)` — byte-identical for any
+/// worker count. Replications use index-derived seeds, so the `reps = 1`
+/// result is a different (equally valid) sample than [`estimate_p_late`]
+/// with the same seed.
+///
+/// # Errors
+/// Propagates configuration validation.
+pub fn estimate_p_late_par(
+    cfg: &SimConfig,
+    n: u32,
+    rounds: u64,
+    reps: u32,
+    seed: u64,
+) -> Result<PLateEstimate, SimError> {
+    let acc = crate::engine::run_replicated_windows(cfg, n, rounds, reps, seed)?;
+    Ok(PLateEstimate {
+        n,
+        rounds: acc.rounds,
+        late_rounds: acc.late_rounds,
+        p_late: acc.p_late(),
+        ci: wilson_interval(acc.late_rounds, acc.rounds, 0.95),
+        mean_service_time: acc.service_time.mean(),
+        max_service_time: acc.service_time.max(),
+    })
+}
+
 /// Result of a `p_error` estimation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PErrorEstimate {
@@ -93,6 +122,61 @@ pub fn estimate_p_error(
 ) -> Result<PErrorEstimate, SimError> {
     let mut engine = SimulationEngine::new(cfg.clone(), seed)?;
     let acc = engine.run_stream_lifetimes(n, m, batches);
+    let samples = acc.glitches_per_stream.len() as u64;
+    let failures = acc.glitches_per_stream.iter().filter(|&&c| c >= g).count() as u64;
+    Ok(PErrorEstimate {
+        n,
+        m,
+        g,
+        stream_samples: samples,
+        failures,
+        p_error: if samples == 0 {
+            0.0
+        } else {
+            failures as f64 / samples as f64
+        },
+        ci: wilson_interval(failures, samples, 0.95),
+        mean_glitches: acc.mean_glitches_per_stream(),
+        p_late: acc.p_late(),
+    })
+}
+
+/// [`estimate_p_error`] with the `batches` independent windows executed
+/// across the worker pool, one engine per batch seeded
+/// `derive_seed(seed, batch)`. Byte-identical for any worker count;
+/// like [`estimate_p_late_par`], a different (equally valid) sample than
+/// the serial estimator at the same seed.
+///
+/// # Errors
+/// Propagates configuration validation.
+pub fn estimate_p_error_par(
+    cfg: &SimConfig,
+    n: u32,
+    m: u64,
+    g: u64,
+    batches: u32,
+    seed: u64,
+) -> Result<PErrorEstimate, SimError> {
+    let batches = batches.max(1);
+    let parts = mzd_par::par_map_indexed(batches as usize, |i| {
+        let mut engine = SimulationEngine::new(cfg.clone(), mzd_par::derive_seed(seed, i as u64))?;
+        Ok::<_, SimError>(engine.run_window(n, m))
+    });
+    let mut acc = crate::engine::GlitchAccounting {
+        rounds: 0,
+        late_rounds: 0,
+        glitches_per_stream: Vec::with_capacity(batches as usize * n as usize),
+        service_time: mzd_numerics::stats::OnlineStats::new(),
+        seek_time: mzd_numerics::stats::OnlineStats::new(),
+    };
+    for part in parts {
+        let w = part?;
+        acc.rounds += w.rounds;
+        acc.late_rounds += w.late_rounds;
+        acc.glitches_per_stream.extend(w.glitches_per_stream);
+        acc.service_time.merge(&w.service_time);
+        acc.seek_time.merge(&w.seek_time);
+    }
     let samples = acc.glitches_per_stream.len() as u64;
     let failures = acc.glitches_per_stream.iter().filter(|&&c| c >= g).count() as u64;
     Ok(PErrorEstimate {
@@ -169,6 +253,32 @@ mod tests {
         let e = estimate_p_error(&cfg(), 10, 200, 1, 4, 15).unwrap();
         assert_eq!(e.failures, 0);
         assert_eq!(e.p_error, 0.0);
+    }
+
+    #[test]
+    fn replicated_estimates_are_deterministic_and_consistent() {
+        let a = estimate_p_late_par(&cfg(), 27, 2000, 4, 11).unwrap();
+        let b = estimate_p_late_par(&cfg(), 27, 2000, 4, 11).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.rounds, 2000);
+        assert!(a.ci.contains(a.p_late));
+        // The replicated estimator lands in the same statistical regime
+        // as the serial one at matched budget.
+        let serial = estimate_p_late(&cfg(), 27, 2000, 11).unwrap();
+        assert!((a.p_late - serial.p_late).abs() < 0.05);
+        // Uneven split still accounts every round.
+        let odd = estimate_p_late_par(&cfg(), 27, 1001, 4, 11).unwrap();
+        assert_eq!(odd.rounds, 1001);
+    }
+
+    #[test]
+    fn replicated_p_error_is_deterministic_and_consistent() {
+        let a = estimate_p_error_par(&cfg(), 31, 300, 3, 8, 14).unwrap();
+        let b = estimate_p_error_par(&cfg(), 31, 300, 3, 8, 14).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.stream_samples, 31 * 8);
+        assert!(a.failures <= a.stream_samples);
+        assert!(a.ci.contains(a.p_error));
     }
 
     #[test]

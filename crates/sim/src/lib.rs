@@ -39,8 +39,11 @@ pub mod workahead;
 
 pub use cache_sweep::{run_point as run_cache_sweep_point, CacheSweepConfig, CacheSweepPoint};
 pub use drift::{run_drift_scenario, DriftScenarioConfig, DriftScenarioReport};
-pub use engine::{GlitchAccounting, SimulationEngine};
-pub use experiment::{estimate_p_error, estimate_p_late, PErrorEstimate, PLateEstimate};
+pub use engine::{run_replicated_windows, GlitchAccounting, SimulationEngine};
+pub use experiment::{
+    estimate_p_error, estimate_p_error_par, estimate_p_late, estimate_p_late_par, PErrorEstimate,
+    PLateEstimate,
+};
 pub use mixed::{MixedConfig, MixedRunStats, MixedSimulator};
 pub use round::{OverrunPolicy, RoundOutcome, RoundSimulator, SeekPolicy, SimConfig};
 pub use workahead::{WorkAheadConfig, WorkAheadSimulator, WorkAheadStats};

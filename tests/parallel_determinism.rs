@@ -1,0 +1,127 @@
+//! The mzd-par determinism contract, checked end to end: every
+//! parallelized scientific pipeline must produce bit-identical output
+//! for any worker count. The tests drive the real pipelines — the cache
+//! sweep grid, the drift-injection scenario, and the Gil–Pelaez CDF
+//! tabulation — at jobs ∈ {1, 2, 8} and compare outputs exactly
+//! (`f64::to_bits`, not approximate equality).
+//!
+//! `set_jobs` is process-global, so every test that pins it holds a
+//! shared lock and restores the hardware default before releasing it.
+
+use mzd_core::{GuaranteeModel, ServiceTimeCdf};
+use mzd_sim::cache_sweep::{self, CacheSweepConfig};
+use mzd_sim::{run_replicated_windows, DriftScenarioConfig, SimConfig};
+use std::sync::Mutex;
+
+/// Serializes tests that pin the process-global worker count.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the global pool pinned to `jobs` workers.
+fn with_jobs<T>(jobs: usize, f: impl FnOnce() -> T) -> T {
+    mzd_par::set_jobs(jobs);
+    let out = f();
+    mzd_par::set_jobs(0);
+    out
+}
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn cache_sweep_grid_is_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let mut cfg = CacheSweepConfig::reference().unwrap();
+    cfg.streams = 16;
+    cfg.objects = 8;
+    cfg.object_rounds = 40;
+    cfg.rounds = 120;
+    let run = || cache_sweep::sweep(&cfg, &[0.0, 80e6], &[0.3, 1.0], 23).unwrap();
+    let reference = with_jobs(1, run);
+    assert_eq!(reference.len(), 4);
+    for jobs in JOB_COUNTS {
+        let other = with_jobs(jobs, run);
+        assert_eq!(reference, other, "jobs = {jobs}");
+    }
+}
+
+#[test]
+fn drift_scenario_is_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let cfg = DriftScenarioConfig::paper_default(300, Some(120));
+    let run = || mzd_sim::run_drift_scenario(&cfg, 42).unwrap();
+    let reference = with_jobs(1, run);
+    for jobs in JOB_COUNTS {
+        let r = with_jobs(jobs, run);
+        assert_eq!(r.rounds, reference.rounds, "jobs = {jobs}");
+        assert_eq!(r.drift_round, reference.drift_round, "jobs = {jobs}");
+        assert_eq!(r.drifts_raised, reference.drifts_raised, "jobs = {jobs}");
+        assert_eq!(r.late_rounds, reference.late_rounds, "jobs = {jobs}");
+        assert_eq!(
+            r.final_ks.to_bits(),
+            reference.final_ks.to_bits(),
+            "jobs = {jobs}"
+        );
+        assert_eq!(
+            r.final_tail_exceedance.to_bits(),
+            reference.final_tail_exceedance.to_bits(),
+            "jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn cdf_grid_is_bit_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let model = GuaranteeModel::paper_reference().unwrap();
+    let grid = |jobs: usize| {
+        with_jobs(jobs, || {
+            ServiceTimeCdf::with_resolution(&model, 27, 257)
+                .unwrap()
+                .grid_values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u64>>()
+        })
+    };
+    let reference = grid(1);
+    assert_eq!(reference.len(), 257);
+    for jobs in JOB_COUNTS {
+        assert_eq!(reference, grid(jobs), "jobs = {jobs}");
+    }
+}
+
+#[test]
+fn replicated_windows_are_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let cfg = SimConfig::paper_reference().unwrap();
+    let run = || run_replicated_windows(&cfg, 27, 1000, 8, 7).unwrap();
+    let reference = with_jobs(1, run);
+    assert_eq!(reference.rounds, 1000);
+    assert_eq!(reference.glitches_per_stream.len(), 8 * 27);
+    for jobs in JOB_COUNTS {
+        let other = with_jobs(jobs, run);
+        assert_eq!(reference, other, "jobs = {jobs}");
+    }
+}
+
+#[test]
+fn admission_limits_are_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let model = GuaranteeModel::paper_reference().unwrap();
+    let reference = with_jobs(1, || {
+        (
+            model.n_max_late(1.0, 0.01).unwrap(),
+            model.n_max_error(1.0, 1200, 12, 0.01).unwrap(),
+        )
+    });
+    // The paper's anchors: the parallel scan must preserve them exactly.
+    assert_eq!(reference, (26, 28));
+    for jobs in JOB_COUNTS {
+        let other = with_jobs(jobs, || {
+            (
+                model.n_max_late(1.0, 0.01).unwrap(),
+                model.n_max_error(1.0, 1200, 12, 0.01).unwrap(),
+            )
+        });
+        assert_eq!(reference, other, "jobs = {jobs}");
+    }
+}
