@@ -56,6 +56,7 @@ fn main() {
         Some("buffering") => experiments::buffering(budget),
         Some("cache") => experiments::cache(budget),
         Some("drift") => experiments::drift(budget),
+        Some("faults") => experiments::faults(budget),
         Some("bench-summary") => experiments::bench_summary(budget),
         Some("all") => experiments::all(budget),
         other => {
@@ -84,6 +85,8 @@ fn main() {
                  buffering    work-ahead prefetching (\u{a7}6 buffering)\n  \
                  cache        fragment cache: glitch rate vs size vs Zipf skew\n  \
                  drift        model drift: conformance checker vs zone skew\n  \
+                 faults       fault injection: fault-priced N_max vs observed\n               \
+                 glitch rate (writes FAULT_sweep.json)\n  \
                  bench-summary  write BENCH_core.json / BENCH_sim.json\n                 \
                  (ns/op, jobs=1 vs jobs=4 speedups)\n  \
                  all          everything, in order\n\n\

@@ -66,7 +66,11 @@ commands:
   table      admission lookup table (flags: --thresholds p1,p2,...)
   simulate   simulated p_late (flags: --n N --rounds R --seed S
              --reps K   [split the round budget over K independent
-                         replications, run in parallel])
+                         replications, run in parallel]
+             --faults SPEC  [inject disk faults; SPEC is a preset
+                             (clean|media1pct|flaky|degrading|zonefail)
+                             or key=value pairs, e.g.
+                             media=0.01:1,stall=0.002:0.05,retries=4])
   serve      round-based server on a Zipf catalog
              (flags: --disks D --streams N --rounds R --seed S
               --objects K --object-rounds M --zipf SKEW
@@ -74,7 +78,13 @@ commands:
               --cache-safety S    [enables cache-aware admission]
               --slo               [burn-rate + model-conformance monitor]
               --trace-out PATH    [per-stream causal trace, Chrome JSON;
-                                   implies --slo])
+                                   implies --slo]
+              --fault-profile SPEC [same grammar as --faults; add
+                                    disk=D to degrade one spindle only]
+              --work-ahead K      [prefetch K fragments/stream into the
+                                   cache in post-sweep slack]
+              --degrade           [graceful-degradation ladder driven by
+                                   the burn alert; implies --slo])
   plan       disks for a population (flags: --population N --m R --g G --epsilon P)
   worstcase  deterministic worst-case limits (eq. 4.1)
   disks      list built-in drive profiles
@@ -104,7 +114,7 @@ observability:
                        go to stderr; with -v, events still stream there)";
 
 /// Flags that take no value; presence means `true`.
-const BOOLEAN_FLAGS: [&str; 3] = ["verbose", "quiet", "slo"];
+const BOOLEAN_FLAGS: [&str; 4] = ["verbose", "quiet", "slo", "degrade"];
 
 /// Parse an argument vector (without the program name).
 ///
@@ -304,6 +314,24 @@ mod tests {
         let p = parse(&v(&["serve", "--slo", "--trace-out", "t.json"])).unwrap();
         assert!(p.flag("slo"));
         assert_eq!(p.str_opt("trace-out"), Some("t.json"));
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let p = parse(&v(&["simulate", "--faults", "media=0.01,retries=4"])).unwrap();
+        assert_eq!(p.str_opt("faults"), Some("media=0.01,retries=4"));
+        let p = parse(&v(&[
+            "serve",
+            "--fault-profile",
+            "flaky",
+            "--degrade",
+            "--work-ahead",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(p.str_opt("fault-profile"), Some("flaky"));
+        assert!(p.flag("degrade"));
+        assert_eq!(p.u64_or("work-ahead", 0).unwrap(), 2);
     }
 
     #[test]

@@ -211,11 +211,19 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
     let reps = u32::try_from(parsed.u64_or("reps", 1)?)
         .map_err(|_| CliError::Usage("--reps is too large".into()))?
         .max(1);
+    let faults = match parsed.str_opt("faults") {
+        None => None,
+        Some(spec) => Some(
+            mzd_fault::FaultConfig::parse(spec)
+                .map_err(|e| CliError::Usage(format!("--faults: {e}")))?,
+        ),
+    };
     let cfg = SimConfig {
         disk: disk_of(parsed)?,
         sizes: SizeDistribution::gamma(mean, sd * sd)
             .map_err(|e| CliError::Execution(e.to_string()))?,
         round_length: t,
+        faults,
         ..SimConfig::paper_reference()?
     };
     let est = estimate_p_late_par(&cfg, n, rounds, reps, seed)?;
@@ -237,6 +245,12 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
         est.mean_service_time, est.max_service_time
     );
     let _ = writeln!(out, "  analytic Chernoff bound: {bound:.5}");
+    if let Some(spec) = parsed.str_opt("faults") {
+        let _ = writeln!(
+            out,
+            "  fault profile: {spec} (bound does not price injected faults)"
+        );
+    }
     Ok(out)
 }
 
@@ -276,6 +290,18 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
             admission_safety,
         });
     }
+    if let Some(spec) = parsed.str_opt("fault-profile") {
+        cfg.faults = Some(
+            mzd_fault::FaultConfig::parse(spec)
+                .map_err(|e| CliError::Usage(format!("--fault-profile: {e}")))?,
+        );
+    }
+    cfg.work_ahead = u32::try_from(parsed.u64_or("work-ahead", 0)?)
+        .map_err(|_| CliError::Usage("--work-ahead is too large".into()))?;
+    let degrade_enabled = parsed.flag("degrade");
+    if degrade_enabled {
+        cfg.degrade = Some(mzd_server::DegradeSettings::default());
+    }
 
     let sizes =
         SizeDistribution::gamma(mean, sd * sd).map_err(|e| CliError::Execution(e.to_string()))?;
@@ -292,7 +318,9 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
     // seeded RNG so admission order does not perturb fragment sampling.
     let mut arrivals = StdRng::seed_from_u64(seed ^ 0x5EED_CA7A_0A11_0C8D);
 
-    let slo_enabled = parsed.flag("slo") || parsed.has("trace-out");
+    // The degradation ladder is driven by the burn-rate alert, so
+    // `--degrade` implies the SLO layer (like `--trace-out` does).
+    let slo_enabled = parsed.flag("slo") || parsed.has("trace-out") || degrade_enabled;
     let target = cfg.target;
     let mut server =
         mzd_server::VideoServer::new(cfg, seed).map_err(|e| CliError::Execution(e.to_string()))?;
@@ -384,6 +412,16 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
         );
     } else {
         let _ = writeln!(out, "  cache: disabled");
+    }
+    if let Some(spec) = parsed.str_opt("fault-profile") {
+        let _ = writeln!(out, "  faults: {spec} injected");
+    }
+    if let Some(status) = server.degrade_status() {
+        let _ = writeln!(
+            out,
+            "  degrade: rung {} ({} escalation(s), {} recover(y/ies), {} stream(s) shed)",
+            status.rung, status.escalations, status.recoveries, status.shed_streams
+        );
     }
     if let Some(status) = server.slo_status() {
         let _ = writeln!(
@@ -590,6 +628,88 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&base), strip(&zeroed));
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_profile_and_raises_p_late() {
+        let clean = run_line(&["simulate", "--n", "26", "--rounds", "300", "--seed", "9"]).unwrap();
+        let faulty = run_line(&[
+            "simulate",
+            "--n",
+            "26",
+            "--rounds",
+            "300",
+            "--seed",
+            "9",
+            "--faults",
+            "media=0.05",
+        ])
+        .unwrap();
+        assert!(faulty.contains("fault profile: media=0.05"), "{faulty}");
+        let p = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.contains("p_late = "))
+                .and_then(|l| l.split("p_late = ").nth(1))
+                .and_then(|l| l.split_whitespace().next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(p(&faulty) > p(&clean), "{faulty}\n{clean}");
+        assert!(matches!(
+            run_line(&["simulate", "--n", "20", "--faults", "nosuchpreset"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_with_fault_profile_and_degrade() {
+        let out = run_line(&[
+            "serve",
+            "--rounds",
+            "40",
+            "--streams",
+            "8",
+            "--seed",
+            "5",
+            "--fault-profile",
+            "flaky",
+            "--degrade",
+        ])
+        .unwrap();
+        assert!(out.contains("faults: flaky injected"), "{out}");
+        // --degrade implies --slo and reports the ladder state.
+        assert!(out.contains("degrade: rung"), "{out}");
+        assert!(out.contains("slo: burn fast"), "{out}");
+        assert!(matches!(
+            run_line(&["serve", "--rounds", "1", "--fault-profile", "media=2.0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_clean_fault_profile_matches_unfaulted_output() {
+        let base =
+            run_line(&["serve", "--rounds", "50", "--streams", "10", "--seed", "4"]).unwrap();
+        let clean = run_line(&[
+            "serve",
+            "--rounds",
+            "50",
+            "--streams",
+            "10",
+            "--seed",
+            "4",
+            "--fault-profile",
+            "clean",
+        ])
+        .unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.trim_start().starts_with("faults:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&base), strip(&clean));
     }
 
     #[test]

@@ -19,10 +19,12 @@ use std::fmt::Write as _;
 /// Numeric per-round series worth charting, as `(event, field, label)`.
 /// Data-driven rather than exhaustive: kinds absent from the stream are
 /// simply not rendered.
-const SERIES: [(&str, &str, &str); 10] = [
+const SERIES: [(&str, &str, &str); 12] = [
     ("sim.round", "service_time", "round service time (s)"),
     ("sim.round", "seek", "seek time per round (s)"),
     ("sim.round", "transfer", "transfer time per round (s)"),
+    ("sim.round", "fault", "fault-injection time per round (s)"),
+    ("server.degrade", "rung", "degradation ladder rung"),
     ("server.round", "active", "active streams"),
     (
         "server.round",
@@ -49,6 +51,9 @@ struct Digest {
     /// `slo.alert` / `slo.drift` transitions in stream order, as
     /// `(kind, transition, round, detail)`.
     transitions: Vec<(String, String, u64, String)>,
+    /// `server.degrade` ladder moves in stream order, as
+    /// `(action, rung, round, shed)`.
+    degrades: Vec<(String, u64, u64, u64)>,
 }
 
 fn digest_events(text: &str) -> Digest {
@@ -58,6 +63,7 @@ fn digest_events(text: &str) -> Digest {
         kinds: BTreeMap::new(),
         series: BTreeMap::new(),
         transitions: Vec::new(),
+        degrades: Vec::new(),
     };
     for line in text.lines() {
         if line.trim().is_empty() {
@@ -105,6 +111,26 @@ fn digest_events(text: &str) -> Digest {
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             d.transitions
                 .push((kind.to_string(), transition, round.max(0.0) as u64, detail));
+        }
+        if kind == "server.degrade" {
+            let field = |name: &str| {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let v = doc
+                    .get(name)
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0)
+                    .max(0.0) as u64;
+                v
+            };
+            d.degrades.push((
+                doc.get("action")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                field("rung"),
+                field("round"),
+                field("shed"),
+            ));
         }
     }
     d
@@ -195,6 +221,32 @@ fn metrics_section(out: &mut String, metrics_text: &str) {
         return;
     };
     let _ = writeln!(out, "<h2>Metrics snapshot</h2>");
+    // Family roll-up first: one row per dotted prefix (`sim.*`, `par.*`,
+    // `fault.*`, `degrade.*`, ...), so a reader can tell at a glance
+    // which subsystems were live in this run.
+    let mut families: BTreeMap<String, u64> = BTreeMap::new();
+    for section in ["counters", "gauges", "histograms"] {
+        if let Some(map) = doc.get(section).and_then(Value::as_object) {
+            for name in map.keys() {
+                let family = name.split('.').next().unwrap_or(name);
+                *families.entry(format!("{family}.*")).or_insert(0) += 1;
+            }
+        }
+    }
+    if !families.is_empty() {
+        let _ = writeln!(
+            out,
+            "<h3>families</h3><table><tr><th>family</th><th>metrics</th></tr>"
+        );
+        for (family, count) in &families {
+            let _ = writeln!(
+                out,
+                "<tr><td><code>{}</code></td><td>{count}</td></tr>",
+                esc(family)
+            );
+        }
+        let _ = writeln!(out, "</table>");
+    }
     for (section, kind) in [("counters", "count"), ("gauges", "value")] {
         if let Some(map) = doc.get(section).and_then(Value::as_object) {
             if map.is_empty() {
@@ -345,6 +397,35 @@ pub fn render(events_text: &str, metrics_text: Option<&str>, source_label: &str)
         let _ = writeln!(out, "</table>");
     }
 
+    let overruns = d.kinds.get("server.round.overrun").copied().unwrap_or(0);
+    let fault_rounds = d
+        .series
+        .get(&("sim.round", "fault"))
+        .map_or(0, |vs| vs.iter().filter(|&&x| x > 0.0).count());
+    if !d.degrades.is_empty() || overruns > 0 || fault_rounds > 0 {
+        let _ = writeln!(out, "<h2>Faults &amp; degradation</h2>");
+        let _ = writeln!(
+            out,
+            "<p>{fault_rounds} round(s) lost time to injected faults; \
+             {overruns} round deadline overrun(s).</p>"
+        );
+        if !d.degrades.is_empty() {
+            let _ = writeln!(
+                out,
+                "<table><tr><th>round</th><th>action</th><th>rung</th><th>streams shed</th></tr>"
+            );
+            for (action, rung, round, shed) in &d.degrades {
+                let _ = writeln!(
+                    out,
+                    "<tr><td>{round}</td><td class=\"{}\">{}</td><td>{rung}</td><td>{shed}</td></tr>",
+                    if action.starts_with("escalate") { "raised" } else { "cleared" },
+                    esc(action),
+                );
+            }
+            let _ = writeln!(out, "</table>");
+        }
+    }
+
     if let Some(text) = metrics_text {
         metrics_section(&mut out, text);
     }
@@ -399,6 +480,45 @@ mod tests {
         // A broken metrics file degrades gracefully instead of failing.
         let html = render("", Some("{nope"), "x");
         assert!(html.contains("did not parse"));
+    }
+
+    #[test]
+    fn renders_fault_and_degradation_sections() {
+        let mut events = String::new();
+        for i in 0..8 {
+            let _ = writeln!(
+                events,
+                "{{\"event\":\"sim.round\",\"round\":{i},\"service_time\":0.9,\"fault\":{}}}",
+                0.02 * f64::from(i)
+            );
+        }
+        events.push_str(
+            "{\"event\":\"server.degrade\",\"action\":\"escalate\",\"rung\":1,\"round\":5,\"shed\":0}\n\
+             {\"event\":\"server.degrade\",\"action\":\"recover\",\"rung\":0,\"round\":7,\"shed\":0}\n\
+             {\"event\":\"server.round.overrun\",\"round\":6,\"disk\":0,\"overrun\":0.05,\"requests\":12}\n",
+        );
+        let metrics = "{\"counters\":{\"fault.media_errors\":3,\"degrade.escalations\":1,\
+                       \"par.tasks\":64,\"sim.rounds\":8},\"gauges\":{\"degrade.rung\":0},\
+                       \"histograms\":{}}";
+        let html = render(&events, Some(metrics), "events.jsonl");
+        assert!(html.contains("Faults &amp; degradation"), "{html}");
+        assert!(
+            html.contains("7 round(s) lost time to injected faults"),
+            "{html}"
+        );
+        assert!(html.contains("1 round deadline overrun(s)"), "{html}");
+        assert!(html.contains("escalate"), "{html}");
+        assert!(html.contains("fault-injection time per round"), "{html}");
+        // The family roll-up names every live subsystem.
+        for family in ["fault.*", "degrade.*", "par.*", "sim.*"] {
+            assert!(html.contains(family), "missing {family}: {html}");
+        }
+    }
+
+    #[test]
+    fn fault_free_run_omits_robustness_section() {
+        let html = render(&sample_events(), None, "events.jsonl");
+        assert!(!html.contains("Faults &amp; degradation"), "{html}");
     }
 
     #[test]

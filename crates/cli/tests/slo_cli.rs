@@ -188,3 +188,70 @@ fn report_renders_from_a_real_run() {
     assert!(!html.contains("<script") && !html.contains("<link"));
     assert!(!html.contains("http://") && !html.contains("https://"));
 }
+
+#[test]
+fn report_renders_fault_and_degrade_families_from_a_faulted_run() {
+    let dir = temp_dir("fault-report");
+    let events_path = dir.join("events.jsonl");
+    let metrics_path = dir.join("metrics.json");
+    let html_path = dir.join("report.html");
+    let run = mzd(&[
+        "serve",
+        "--rounds",
+        "200",
+        "--streams",
+        "26",
+        "--seed",
+        "13",
+        "--fault-profile",
+        "media=0.20,retries=2,timeout=0.005",
+        "--degrade",
+        "--jobs",
+        "2",
+        "--events-out",
+        events_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "-q",
+    ]);
+    assert!(
+        run.status.success(),
+        "mzd serve --fault-profile failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let report = mzd(&[
+        "report",
+        "--events",
+        events_path.to_str().unwrap(),
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--out",
+        html_path.to_str().unwrap(),
+    ]);
+    assert!(
+        report.status.success(),
+        "mzd report failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+
+    let html = std::fs::read_to_string(&html_path).expect("report written");
+    // Regression: the report must surface the fault, degrade and par
+    // metric families and the robustness narrative for a faulted run.
+    for family in ["fault.*", "degrade.*", "par.*"] {
+        assert!(html.contains(family), "family {family} missing from report");
+    }
+    assert!(
+        html.contains("fault.media_errors"),
+        "fault counters missing"
+    );
+    assert!(html.contains("degrade.rung"), "degrade gauge missing");
+    assert!(
+        html.contains("Faults &amp; degradation"),
+        "robustness section missing"
+    );
+    assert!(
+        html.contains("round(s) lost time to injected faults"),
+        "fault-round summary missing"
+    );
+}

@@ -135,6 +135,27 @@ impl GuaranteeModel {
         Self::new(disk, 200_000.0, 1e10, ZoneHandling::Discrete)
     }
 
+    /// The same model with its transfer time inflated by a fault model
+    /// (`mzd_fault::FaultModel`): media-error rereads, transient stalls
+    /// and remap detours enter as the moment-matched mixture of
+    /// [`TransferTimeModel::with_faults`], and every downstream guarantee
+    /// — `p_late`, `n_max`, the admission tables, the service-time CDF —
+    /// then prices the faults automatically. With a non-trivial fault
+    /// model the admitted `n_max` shrinks relative to the clean model.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] for an out-of-range fault model.
+    pub fn with_faults(&self, faults: &mzd_fault::FaultModel) -> Result<Self, CoreError> {
+        let full_seek = self.disk.seek_curve().max_seek_time(self.disk.cylinders());
+        let transfer = self
+            .transfer
+            .with_faults(faults, self.disk.rotation_time(), full_seek)?;
+        Ok(Self {
+            transfer,
+            ..self.clone()
+        })
+    }
+
     /// The disk this model describes.
     #[must_use]
     pub fn disk(&self) -> &Disk {
@@ -415,6 +436,39 @@ mod tests {
         // §3.2: "if the goal is to limit the probability of one round
         // being late by 1 percent, then N = 26 is the maximum".
         assert_eq!(model().n_max_late(1.0, 0.01).unwrap(), 26);
+    }
+
+    #[test]
+    fn fault_inflation_shrinks_admission() {
+        // A 1% media-error profile must strictly lower n_max: every
+        // reread burns a rotation plus a full re-transfer, so the
+        // inflated transfer law admits fewer streams at the same risk.
+        let clean = model();
+        let faults = mzd_fault::FaultModel {
+            p_media: 0.01,
+            ..mzd_fault::FaultModel::clean()
+        };
+        let faulty = clean.with_faults(&faults).unwrap();
+        assert!(faulty.transfer_model().mean() > clean.transfer_model().mean());
+        assert!(faulty.transfer_model().variance() > clean.transfer_model().variance());
+        // Glitch-rate criterion (eq. 3.3.6): the paper's 28 drops to 27.
+        let n_clean = clean.n_max_error(1.0, 1200, 12, 0.01).unwrap();
+        let n_faulty = faulty.n_max_error(1.0, 1200, 12, 0.01).unwrap();
+        assert_eq!(n_clean, 28);
+        assert!(n_faulty < n_clean, "faulty n_max {n_faulty} ≥ {n_clean}");
+        // Overrun criterion: 1% media errors eat most of the 0.01-margin
+        // (p_late(26) roughly doubles) without crossing it; the `flaky`
+        // preset's added stalls and remaps push it over.
+        assert_eq!(clean.n_max_late(1.0, 0.01).unwrap(), 26);
+        assert!(faulty.p_late_bound(26, 1.0).unwrap() > 2.0 * clean.p_late_bound(26, 1.0).unwrap());
+        let flaky = mzd_fault::FaultModel::from_config(
+            &mzd_fault::FaultConfig::preset("flaky").expect("known preset"),
+        );
+        let degraded = clean.with_faults(&flaky).unwrap();
+        assert!(degraded.n_max_late(1.0, 0.01).unwrap() < 26);
+        // A clean fault model is the identity.
+        let same = clean.with_faults(&mzd_fault::FaultModel::clean()).unwrap();
+        assert_eq!(same.n_max_error(1.0, 1200, 12, 0.01).unwrap(), n_clean);
     }
 
     #[test]

@@ -157,6 +157,29 @@ impl TransferTimeModel {
         Self::from_moments(mean, m2 - mean * mean)
     }
 
+    /// The retry-inflated transfer law: this Gamma's moments pushed
+    /// through `faults` (the mixture
+    /// `(1 − p_err)·L_trans(θ) + p_err·L_trans(θ)·L_retry(θ)` plus
+    /// independent stall and remap terms, evaluated at the moment level
+    /// by [`mzd_fault::FaultModel::inflate`]) and re-matched to a Gamma.
+    /// `rotation_time` prices each reread; `full_seek` prices remap
+    /// detours.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] for an out-of-range fault model or
+    /// degenerate inflated moments.
+    pub fn with_faults(
+        &self,
+        faults: &mzd_fault::FaultModel,
+        rotation_time: f64,
+        full_seek: f64,
+    ) -> Result<Self, CoreError> {
+        let (mean, variance) = faults
+            .inflate(self.mean, self.variance, rotation_time, full_seek)
+            .map_err(|e| CoreError::Invalid(e.to_string()))?;
+        Self::from_moments(mean, variance)
+    }
+
     /// Mean transfer time `E[T]`, seconds.
     #[must_use]
     pub fn mean(&self) -> f64 {

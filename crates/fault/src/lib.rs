@@ -1,0 +1,59 @@
+//! Disk fault model for the multi-zone guarantee stack.
+//!
+//! The paper's service guarantee assumes every fragment read completes in
+//! one attempt; real disks add media-error rereads, transient latency
+//! spikes, short unavailability windows and remapped-sector seeks. This
+//! crate models those impairments twice, from one shared parameterisation
+//! ([`FaultProfile`]):
+//!
+//! * **Injection** — a seeded, deterministic [`FaultInjector`] that
+//!   perturbs individual reads with extra latency or outright failure,
+//!   optionally shaped over time by a scripted [`ChaosScenario`]. The
+//!   injector owns a private SplitMix64 stream, so a zero-probability
+//!   profile is byte-identical to running with no injector at all: the
+//!   simulator's own RNG never sees a fault-dependent draw.
+//! * **Analysis** — a [`FaultModel`] whose [`FaultModel::inflate`] maps
+//!   the clean transfer-time moments `(E[T], Var T)` to retry-inflated
+//!   moments via the mixture `(1 − p)·L_trans(θ) + p·L_trans(θ)·L_retry(θ)`
+//!   evaluated at the moment level, ready for Gamma moment matching.
+//!
+//! Reads that fail are *bounded* failures: a [`RetryPolicy`] caps the
+//! attempt count, each attempt's stall time, and the total retry latency
+//! against the caller-supplied round-slack budget, so an unlucky read
+//! becomes an explicit glitch instead of an unbounded round overrun.
+//!
+//! Like `mzd-par`, `mzd-slo` and `mzd-telemetry`, this crate has no
+//! dependencies; callers derive injector seeds however they like (the
+//! stack uses `mzd_par::derive_seed`, whose SplitMix64 finalizer
+//! [`FaultRng`] shares).
+
+#![warn(missing_docs)]
+
+mod injector;
+mod model;
+mod profile;
+mod retry;
+mod rng;
+
+pub use injector::{FaultCounters, FaultInjector, ReadPerturbation};
+pub use model::FaultModel;
+pub use profile::{ChaosScenario, FaultConfig, FaultProfile, StallDistribution};
+pub use retry::RetryPolicy;
+pub use rng::FaultRng;
+
+/// Errors from fault-profile validation or spec parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A parameter was out of range or a spec string was malformed.
+    Invalid(String),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Invalid(msg) => write!(f, "invalid fault specification: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}

@@ -1,0 +1,255 @@
+//! Moment-level retry inflation of the transfer-time distribution.
+
+use crate::{FaultConfig, FaultError, StallDistribution};
+
+/// The analytic counterpart of the injector: maps the clean per-fragment
+/// transfer-time moments to retry-inflated ones.
+///
+/// In transform terms, the faulty transfer LST is the mixture
+///
+/// ```text
+/// L'(θ) = (1 − p_m)·L(θ) + p_m·L(θ)·L_retry(θ),   with independent
+///         stall and remap factors  L_stall(θ)^{B_s} · e^{−θ c_r B_r}
+/// ```
+///
+/// i.e. the perturbed time is `T' = T + B_s·S + B_r·c_r + B_m·(c_m + T₂)`
+/// with independent Bernoulli markers `B` and `T₂` an i.i.d. reread of
+/// `T`. Rather than carrying `L'` symbolically, [`FaultModel::inflate`]
+/// evaluates its first two moments in closed form — which is all the
+/// Gamma moment-matching pipeline consumes:
+///
+/// ```text
+/// E[T']   = E[T] + p_s·E[S] + p_r·c_r + p_m·(c_m + E[T])
+/// Var T'  = Var T + Σ (p·E[Y²] − p²·E[Y]²)   over the three markers
+/// ```
+///
+/// The analytic model prices exactly one reread per media error (the
+/// injector may retry more, or fail outright with probability
+/// `p_m^attempts` — negligible at the percent-level rates this models);
+/// disk-unavailability windows are a liveness event handled by the
+/// degradation ladder, not by admission, so they do not inflate the
+/// transfer time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    /// Media-error probability per read.
+    pub p_media: f64,
+    /// Extra full rotations per reread.
+    pub reread_rotations: f64,
+    /// Expected backoff before the (single analytic) retry, in seconds.
+    pub retry_backoff: f64,
+    /// Transient-stall probability per read.
+    pub p_stall: f64,
+    /// Mean stall duration in seconds.
+    pub stall_mean: f64,
+    /// Stall duration distribution.
+    pub stall_dist: StallDistribution,
+    /// Remap probability per read.
+    pub p_remap: f64,
+    /// Remap detour as a fraction of the full-stroke seek.
+    pub remap_seek_factor: f64,
+}
+
+impl FaultModel {
+    /// The analytic subset of a fault configuration. The backoff is
+    /// priced at its expectation under jitter,
+    /// `nominal₀ · (1 + jitter/2)`.
+    #[must_use]
+    pub fn from_config(config: &FaultConfig) -> Self {
+        let p = &config.profile;
+        Self {
+            p_media: p.p_media,
+            reread_rotations: p.reread_rotations,
+            retry_backoff: config.retry.nominal_backoff(0) * (1.0 + config.retry.jitter / 2.0),
+            p_stall: p.p_stall,
+            stall_mean: p.stall_mean,
+            stall_dist: p.stall_dist,
+            p_remap: p.p_remap,
+            remap_seek_factor: p.remap_seek_factor,
+        }
+    }
+
+    /// A model that changes nothing.
+    #[must_use]
+    pub fn clean() -> Self {
+        Self::from_config(&FaultConfig::default())
+    }
+
+    /// Map clean transfer-time moments `(mean, variance)` to their
+    /// retry-inflated counterparts, given the disk's rotation time and
+    /// full-stroke seek time (both in seconds).
+    ///
+    /// # Errors
+    /// [`FaultError::Invalid`] for negative inputs, probabilities
+    /// outside `[0, 1]`, or a Pareto stall shape `≤ 2` (infinite
+    /// variance).
+    pub fn inflate(
+        &self,
+        mean: f64,
+        variance: f64,
+        rotation_time: f64,
+        full_seek: f64,
+    ) -> Result<(f64, f64), FaultError> {
+        for (name, v) in [
+            ("transfer mean", mean),
+            ("transfer variance", variance),
+            ("rotation time", rotation_time),
+            ("full seek", full_seek),
+        ] {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(FaultError::Invalid(format!(
+                    "{name} must be finite and ≥ 0, got {v}"
+                )));
+            }
+        }
+        for (name, p) in [
+            ("media", self.p_media),
+            ("stall", self.p_stall),
+            ("remap", self.p_remap),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(FaultError::Invalid(format!(
+                    "{name} probability must be in [0, 1], got {p}"
+                )));
+            }
+        }
+
+        // Stall term: B_s·S.
+        let stall_m2 = match self.stall_dist {
+            StallDistribution::Exponential => 2.0 * self.stall_mean * self.stall_mean,
+            StallDistribution::Pareto { shape } => {
+                if !(shape > 2.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "Pareto stall shape must be > 2 for finite variance, got {shape}"
+                    )));
+                }
+                let scale = self.stall_mean * (shape - 1.0) / shape;
+                shape * scale * scale / (shape - 2.0)
+            }
+        };
+        let stall_mean_term = self.p_stall * self.stall_mean;
+        let stall_var = self.p_stall * stall_m2
+            - self.p_stall * self.p_stall * self.stall_mean * self.stall_mean;
+
+        // Remap term: B_r·c_r with constant c_r.
+        let c_r = self.remap_seek_factor * full_seek;
+        let remap_mean_term = self.p_remap * c_r;
+        let remap_var = self.p_remap * (1.0 - self.p_remap) * c_r * c_r;
+
+        // Media term: B_m·(c_m + T₂), T₂ an i.i.d. reread.
+        let c_m = self.reread_rotations * rotation_time + self.retry_backoff;
+        let y_mean = c_m + mean;
+        let y_m2 = c_m * c_m + 2.0 * c_m * mean + variance + mean * mean;
+        let media_mean_term = self.p_media * y_mean;
+        let media_var = self.p_media * y_m2 - self.p_media * self.p_media * y_mean * y_mean;
+
+        Ok((
+            mean + stall_mean_term + remap_mean_term + media_mean_term,
+            variance + stall_var + remap_var + media_var,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultInjector, FaultProfile, RetryPolicy};
+
+    #[test]
+    fn clean_model_is_identity() {
+        let (m, v) = FaultModel::clean()
+            .inflate(0.02, 1e-5, 0.0111, 0.018)
+            .unwrap();
+        assert_eq!(m, 0.02);
+        assert_eq!(v, 1e-5);
+    }
+
+    #[test]
+    fn inflation_is_monotone_in_media_rate() {
+        let mut prev = (0.0, 0.0);
+        for i in 0..=10 {
+            let model = FaultModel {
+                p_media: f64::from(i) * 0.01,
+                ..FaultModel::clean()
+            };
+            let (m, v) = model.inflate(0.02, 1e-5, 0.0111, 0.018).unwrap();
+            assert!(m >= prev.0 && v >= prev.1, "not monotone at {i}");
+            prev = (m, v);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let model = FaultModel::clean();
+        assert!(model.inflate(-1.0, 0.0, 0.01, 0.01).is_err());
+        assert!(model.inflate(0.02, f64::NAN, 0.01, 0.01).is_err());
+        let bad = FaultModel {
+            p_media: 1.5,
+            ..FaultModel::clean()
+        };
+        assert!(bad.inflate(0.02, 1e-5, 0.01, 0.01).is_err());
+        let bad = FaultModel {
+            p_stall: 0.1,
+            stall_mean: 0.05,
+            stall_dist: StallDistribution::Pareto { shape: 1.5 },
+            ..FaultModel::clean()
+        };
+        assert!(bad.inflate(0.02, 1e-5, 0.01, 0.01).is_err());
+    }
+
+    /// Monte-Carlo cross-check: the injector's empirical perturbed
+    /// moments match the closed-form inflation (the injector's extra
+    /// retries past the first are the only modelled difference, second
+    /// order at these rates).
+    #[test]
+    fn inflation_matches_injector_monte_carlo() {
+        let cfg = FaultConfig {
+            profile: FaultProfile {
+                p_media: 0.03,
+                reread_rotations: 1.0,
+                p_stall: 0.02,
+                stall_mean: 0.01,
+                p_remap: 0.01,
+                ..FaultProfile::default()
+            },
+            retry: RetryPolicy {
+                jitter: 0.0,
+                attempt_timeout: 10.0, // effectively no stall clamp
+                ..RetryPolicy::default()
+            },
+            ..FaultConfig::default()
+        };
+        let (transfer, rotation, seek) = (0.02, 0.0111, 0.018);
+        let model = FaultModel::from_config(&cfg);
+        let (want_mean, want_var) = model.inflate(transfer, 0.0, rotation, seek).unwrap();
+
+        let mut inj = FaultInjector::new(&cfg, 1234);
+        let n = 200_000u32;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut served = 0u32;
+        inj.begin_round();
+        for _ in 0..n {
+            let p = inj.perturb_read(0, transfer, rotation, seek, f64::INFINITY);
+            if p.failed {
+                // All four attempts erred: probability p⁴ ≈ 8·10⁻⁷.
+                continue;
+            }
+            let t = transfer + p.extra_time;
+            sum += t;
+            sum_sq += t * t;
+            served += 1;
+        }
+        assert!(n - served < 10, "too many exhausted reads: {}", n - served);
+        let nf = f64::from(served);
+        let got_mean = sum / nf;
+        let got_var = sum_sq / nf - got_mean * got_mean;
+        assert!(
+            (got_mean - want_mean).abs() / want_mean < 0.02,
+            "mean: got {got_mean}, want {want_mean}"
+        );
+        assert!(
+            (got_var - want_var).abs() / want_var < 0.10,
+            "variance: got {got_var}, want {want_var}"
+        );
+    }
+}

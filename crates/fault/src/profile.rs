@@ -1,0 +1,597 @@
+//! Fault parameterisation: per-read impairment rates, scripted chaos
+//! scenarios, and the `key=value` spec grammar the CLI exposes.
+
+use crate::{FaultError, RetryPolicy};
+
+/// Distribution of transient-stall durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StallDistribution {
+    /// Exponential with the profile's mean.
+    Exponential,
+    /// Pareto with the profile's mean and this tail shape. Shapes `> 2`
+    /// keep the variance finite for the analytic inflation; the injector
+    /// additionally clamps each stall at the retry policy's per-attempt
+    /// timeout.
+    Pareto {
+        /// Tail index (`> 2`).
+        shape: f64,
+    },
+}
+
+/// A scripted, time-varying multiplier on every fault probability:
+/// chaos scenarios replay the same schedule on every run with the same
+/// seed, so degraded-mode behaviour is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosScenario {
+    /// No schedule; the profile's base rates apply throughout.
+    None,
+    /// Rates multiplied by `factor` during `[start, start + rounds)`.
+    Burst {
+        /// First affected round (0-based).
+        start: u64,
+        /// Window length in rounds.
+        rounds: u64,
+        /// Probability multiplier inside the window.
+        factor: f64,
+    },
+    /// Degrading-disk ramp: rates scale linearly from `1` at `start` to
+    /// `peak` at `start + rounds`, then stay at `peak` — a drive wearing
+    /// out rather than a transient event.
+    Ramp {
+        /// Round where degradation begins.
+        start: u64,
+        /// Rounds over which the multiplier climbs to `peak`.
+        rounds: u64,
+        /// Final (and sustained) probability multiplier.
+        peak: f64,
+    },
+    /// Correlated zone failure: only reads falling in `zone` see the
+    /// multiplier, during `[start, start + rounds)`.
+    ZoneFailure {
+        /// The afflicted zone index.
+        zone: u32,
+        /// First affected round (0-based).
+        start: u64,
+        /// Window length in rounds.
+        rounds: u64,
+        /// Probability multiplier for reads in the zone.
+        factor: f64,
+    },
+}
+
+impl ChaosScenario {
+    /// The probability multiplier for a read in `zone` during `round`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn factor(&self, round: u64, zone: u32) -> f64 {
+        match *self {
+            ChaosScenario::None => 1.0,
+            ChaosScenario::Burst {
+                start,
+                rounds,
+                factor,
+            } => {
+                if round >= start && round < start.saturating_add(rounds) {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+            ChaosScenario::Ramp {
+                start,
+                rounds,
+                peak,
+            } => {
+                if round < start {
+                    1.0
+                } else if rounds == 0 || round >= start.saturating_add(rounds) {
+                    peak
+                } else {
+                    let t = (round - start) as f64 / rounds as f64;
+                    1.0 + t * (peak - 1.0)
+                }
+            }
+            ChaosScenario::ZoneFailure {
+                zone: z,
+                start,
+                rounds,
+                factor,
+            } => {
+                if zone == z && round >= start && round < start.saturating_add(rounds) {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// Per-read impairment rates and costs. All probabilities are per
+/// fragment read; costs are in the same units the simulator uses
+/// (seconds for times, fractions of a full-stroke seek for the remap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Media-error probability per read attempt (each retry re-draws).
+    pub p_media: f64,
+    /// Extra full rotations burned per media-error reread.
+    pub reread_rotations: f64,
+    /// Transient-stall probability per read.
+    pub p_stall: f64,
+    /// Mean stall duration in seconds.
+    pub stall_mean: f64,
+    /// Stall duration distribution.
+    pub stall_dist: StallDistribution,
+    /// Remapped-sector probability per read (hot-spare seek detour).
+    pub p_remap: f64,
+    /// Remap detour cost as a fraction of the full-stroke seek time.
+    pub remap_seek_factor: f64,
+    /// Probability, drawn once per round, that the disk enters a
+    /// transient unavailability window.
+    pub p_unavail: f64,
+    /// Length of an unavailability window in rounds. Reads issued while
+    /// the window is open fail immediately (explicit glitches).
+    pub unavail_rounds: u64,
+    /// Scripted schedule multiplying the probabilities above.
+    pub scenario: ChaosScenario,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self {
+            p_media: 0.0,
+            reread_rotations: 1.0,
+            p_stall: 0.0,
+            stall_mean: 0.0,
+            stall_dist: StallDistribution::Exponential,
+            p_remap: 0.0,
+            remap_seek_factor: 1.0,
+            p_unavail: 0.0,
+            unavail_rounds: 1,
+            scenario: ChaosScenario::None,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A profile with every rate at zero: injecting it is byte-identical
+    /// to not injecting at all.
+    #[must_use]
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Whether every fault rate is zero and no scenario is scripted.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.p_media == 0.0
+            && self.p_stall == 0.0
+            && self.p_remap == 0.0
+            && self.p_unavail == 0.0
+            && self.scenario == ChaosScenario::None
+    }
+
+    /// The same profile with its chaos schedule removed.
+    #[must_use]
+    pub fn without_scenario(&self) -> Self {
+        Self {
+            scenario: ChaosScenario::None,
+            ..self.clone()
+        }
+    }
+
+    /// Validate ranges.
+    ///
+    /// # Errors
+    /// [`FaultError::Invalid`] for probabilities outside `[0, 1]`,
+    /// negative costs, or a Pareto shape `≤ 2` (infinite variance would
+    /// break the moment-matched inflation).
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (name, p) in [
+            ("media", self.p_media),
+            ("stall", self.p_stall),
+            ("remap", self.p_remap),
+            ("unavail", self.p_unavail),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(FaultError::Invalid(format!(
+                    "{name} probability must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if self.reread_rotations < 0.0 || self.reread_rotations.is_nan() {
+            return Err(FaultError::Invalid(format!(
+                "reread rotations must be ≥ 0, got {}",
+                self.reread_rotations
+            )));
+        }
+        if self.stall_mean < 0.0 || self.stall_mean.is_nan() {
+            return Err(FaultError::Invalid(format!(
+                "stall mean must be ≥ 0, got {}",
+                self.stall_mean
+            )));
+        }
+        if self.p_stall > 0.0 && !(self.stall_mean > 0.0) {
+            return Err(FaultError::Invalid(
+                "a positive stall probability needs a positive stall mean".into(),
+            ));
+        }
+        if let StallDistribution::Pareto { shape } = self.stall_dist {
+            if !(shape > 2.0) {
+                return Err(FaultError::Invalid(format!(
+                    "Pareto stall shape must be > 2 for finite variance, got {shape}"
+                )));
+            }
+        }
+        if self.remap_seek_factor < 0.0 || self.remap_seek_factor.is_nan() {
+            return Err(FaultError::Invalid(format!(
+                "remap seek factor must be ≥ 0, got {}",
+                self.remap_seek_factor
+            )));
+        }
+        if self.p_unavail > 0.0 && self.unavail_rounds == 0 {
+            return Err(FaultError::Invalid(
+                "a positive unavailability probability needs a window of ≥ 1 round".into(),
+            ));
+        }
+        match self.scenario {
+            ChaosScenario::None => {}
+            ChaosScenario::Burst { factor, .. } | ChaosScenario::ZoneFailure { factor, .. } => {
+                if !(factor >= 0.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "scenario factor must be ≥ 0, got {factor}"
+                    )));
+                }
+            }
+            ChaosScenario::Ramp { peak, .. } => {
+                if !(peak >= 0.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "ramp peak must be ≥ 0, got {peak}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete fault configuration: the impairment profile, the retry
+/// policy bounding recovery attempts, and an optional restriction to a
+/// single disk (for degrading-one-disk scenarios in multi-disk servers).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Per-read impairment rates.
+    pub profile: FaultProfile,
+    /// Bounded retry/timeout/backoff policy.
+    pub retry: RetryPolicy,
+    /// When set, only this disk index is injected; other disks run clean.
+    pub only_disk: Option<u32>,
+}
+
+impl FaultConfig {
+    /// Validate both halves.
+    ///
+    /// # Errors
+    /// [`FaultError::Invalid`] from either the profile or retry policy.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        self.profile.validate()?;
+        self.retry.validate()
+    }
+
+    /// A named preset.
+    ///
+    /// * `clean` — all rates zero (byte-identical to no injection);
+    /// * `media1pct` — 1 % media errors, one extra rotation per reread;
+    /// * `flaky` — 1 % media errors plus exponential stalls and remaps;
+    /// * `degrading` — `flaky` rates under a degrading-disk ramp to 8×;
+    /// * `zonefail` — 0.5 % media errors with a 20× correlated failure
+    ///   of zone 0 between rounds 200 and 600.
+    ///
+    /// # Errors
+    /// [`FaultError::Invalid`] for an unknown preset name.
+    pub fn preset(name: &str) -> Result<Self, FaultError> {
+        let profile = match name {
+            "clean" => FaultProfile::clean(),
+            "media1pct" => FaultProfile {
+                p_media: 0.01,
+                ..FaultProfile::default()
+            },
+            "flaky" => FaultProfile {
+                p_media: 0.01,
+                p_stall: 0.002,
+                stall_mean: 0.05,
+                p_remap: 0.001,
+                ..FaultProfile::default()
+            },
+            "degrading" => FaultProfile {
+                p_media: 0.01,
+                p_stall: 0.002,
+                stall_mean: 0.05,
+                p_remap: 0.001,
+                scenario: ChaosScenario::Ramp {
+                    start: 256,
+                    rounds: 1024,
+                    peak: 8.0,
+                },
+                ..FaultProfile::default()
+            },
+            "zonefail" => FaultProfile {
+                p_media: 0.005,
+                scenario: ChaosScenario::ZoneFailure {
+                    zone: 0,
+                    start: 200,
+                    rounds: 400,
+                    factor: 20.0,
+                },
+                ..FaultProfile::default()
+            },
+            other => {
+                return Err(FaultError::Invalid(format!(
+                    "unknown fault preset `{other}` (clean, media1pct, flaky, degrading, zonefail)"
+                )))
+            }
+        };
+        Ok(Self {
+            profile,
+            retry: RetryPolicy::default(),
+            only_disk: None,
+        })
+    }
+
+    /// Parse a spec string: either a preset name or a comma-separated
+    /// `key=value` list. Keys:
+    ///
+    /// ```text
+    /// media=P[:ROTATIONS]          media-error rate, rereads per retry
+    /// stall=P:MEAN[:pareto:SHAPE]  transient stalls (exp unless pareto)
+    /// remap=P[:FACTOR]             remap rate, fraction of a full seek
+    /// unavail=P:ROUNDS             per-round unavailability windows
+    /// scenario=burst:S:L:F | ramp:S:L:PEAK | zonefail:Z:S:L:F
+    /// retries=N                    attempts per read (including first)
+    /// timeout=SECS                 per-attempt stall clamp
+    /// backoff=BASE:FACTOR:CAP[:JITTER]
+    /// disk=D                       inject only disk D
+    /// ```
+    ///
+    /// # Errors
+    /// [`FaultError::Invalid`] for malformed keys, values out of range,
+    /// or an unknown preset.
+    pub fn parse(spec: &str) -> Result<Self, FaultError> {
+        let spec = spec.trim();
+        if !spec.contains('=') {
+            return Self::preset(spec);
+        }
+        let mut cfg = Self::default();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| FaultError::Invalid(format!("expected key=value, got `{item}`")))?;
+            let parts: Vec<&str> = value.split(':').collect();
+            match key {
+                "media" => {
+                    cfg.profile.p_media = num(parts[0], "media rate")?;
+                    if let Some(r) = parts.get(1) {
+                        cfg.profile.reread_rotations = num(r, "reread rotations")?;
+                    }
+                }
+                "stall" => {
+                    cfg.profile.p_stall = num(parts[0], "stall rate")?;
+                    cfg.profile.stall_mean =
+                        num(parts.get(1).copied().unwrap_or("0"), "stall mean")?;
+                    if parts.get(2) == Some(&"pareto") {
+                        let shape = num(parts.get(3).copied().unwrap_or("3"), "pareto shape")?;
+                        cfg.profile.stall_dist = StallDistribution::Pareto { shape };
+                    }
+                }
+                "remap" => {
+                    cfg.profile.p_remap = num(parts[0], "remap rate")?;
+                    if let Some(f) = parts.get(1) {
+                        cfg.profile.remap_seek_factor = num(f, "remap seek factor")?;
+                    }
+                }
+                "unavail" => {
+                    cfg.profile.p_unavail = num(parts[0], "unavailability rate")?;
+                    cfg.profile.unavail_rounds = int(
+                        parts.get(1).copied().unwrap_or("1"),
+                        "unavailability rounds",
+                    )?;
+                }
+                "scenario" => {
+                    cfg.profile.scenario = parse_scenario(&parts)?;
+                }
+                "retries" => {
+                    let n = int(parts[0], "retries")?;
+                    cfg.retry.max_attempts = u32::try_from(n)
+                        .map_err(|_| FaultError::Invalid(format!("retries out of range: {n}")))?;
+                }
+                "timeout" => cfg.retry.attempt_timeout = num(parts[0], "attempt timeout")?,
+                "backoff" => {
+                    cfg.retry.backoff_base = num(parts[0], "backoff base")?;
+                    cfg.retry.backoff_factor =
+                        num(parts.get(1).copied().unwrap_or("2"), "backoff factor")?;
+                    cfg.retry.backoff_cap =
+                        num(parts.get(2).copied().unwrap_or("1"), "backoff cap")?;
+                    if let Some(j) = parts.get(3) {
+                        cfg.retry.jitter = num(j, "backoff jitter")?;
+                    }
+                }
+                "disk" => {
+                    let d = int(parts[0], "disk index")?;
+                    cfg.only_disk = Some(u32::try_from(d).map_err(|_| {
+                        FaultError::Invalid(format!("disk index out of range: {d}"))
+                    })?);
+                }
+                other => {
+                    return Err(FaultError::Invalid(format!(
+                        "unknown fault spec key `{other}`"
+                    )))
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+fn num(s: &str, what: &str) -> Result<f64, FaultError> {
+    s.trim()
+        .parse()
+        .map_err(|_| FaultError::Invalid(format!("{what} expects a number, got `{s}`")))
+}
+
+fn int(s: &str, what: &str) -> Result<u64, FaultError> {
+    s.trim()
+        .parse()
+        .map_err(|_| FaultError::Invalid(format!("{what} expects an integer, got `{s}`")))
+}
+
+fn parse_scenario(parts: &[&str]) -> Result<ChaosScenario, FaultError> {
+    match parts.first().copied() {
+        Some("none") => Ok(ChaosScenario::None),
+        Some("burst") if parts.len() == 4 => Ok(ChaosScenario::Burst {
+            start: int(parts[1], "burst start")?,
+            rounds: int(parts[2], "burst length")?,
+            factor: num(parts[3], "burst factor")?,
+        }),
+        Some("ramp") if parts.len() == 4 => Ok(ChaosScenario::Ramp {
+            start: int(parts[1], "ramp start")?,
+            rounds: int(parts[2], "ramp length")?,
+            peak: num(parts[3], "ramp peak")?,
+        }),
+        Some("zonefail") if parts.len() == 5 => Ok(ChaosScenario::ZoneFailure {
+            zone: u32::try_from(int(parts[1], "zone index")?)
+                .map_err(|_| FaultError::Invalid("zone index out of range".into()))?,
+            start: int(parts[2], "zonefail start")?,
+            rounds: int(parts[3], "zonefail length")?,
+            factor: num(parts[4], "zonefail factor")?,
+        }),
+        _ => Err(FaultError::Invalid(format!(
+            "scenario expects burst:S:L:F, ramp:S:L:PEAK or zonefail:Z:S:L:F, got `{}`",
+            parts.join(":")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for name in ["clean", "media1pct", "flaky", "degrading", "zonefail"] {
+            let cfg = FaultConfig::preset(name).unwrap();
+            cfg.validate().unwrap();
+        }
+        assert!(FaultConfig::preset("nope").is_err());
+        assert!(FaultConfig::preset("clean").unwrap().profile.is_clean());
+        assert!(!FaultConfig::preset("flaky").unwrap().profile.is_clean());
+    }
+
+    #[test]
+    fn parse_spec_roundtrip() {
+        let cfg = FaultConfig::parse(
+            "media=0.01:2, stall=0.002:0.05:pareto:3, remap=0.001:0.5, \
+             unavail=0.0001:4, scenario=ramp:256:1024:8, retries=4, \
+             timeout=0.2, backoff=0.001:2:0.1:0.25, disk=1",
+        )
+        .unwrap();
+        assert_eq!(cfg.profile.p_media, 0.01);
+        assert_eq!(cfg.profile.reread_rotations, 2.0);
+        assert_eq!(cfg.profile.p_stall, 0.002);
+        assert_eq!(
+            cfg.profile.stall_dist,
+            StallDistribution::Pareto { shape: 3.0 }
+        );
+        assert_eq!(cfg.profile.p_remap, 0.001);
+        assert_eq!(cfg.profile.remap_seek_factor, 0.5);
+        assert_eq!(cfg.profile.p_unavail, 0.0001);
+        assert_eq!(cfg.profile.unavail_rounds, 4);
+        assert_eq!(
+            cfg.profile.scenario,
+            ChaosScenario::Ramp {
+                start: 256,
+                rounds: 1024,
+                peak: 8.0
+            }
+        );
+        assert_eq!(cfg.retry.max_attempts, 4);
+        assert_eq!(cfg.retry.attempt_timeout, 0.2);
+        assert_eq!(cfg.retry.backoff_base, 0.001);
+        assert_eq!(cfg.retry.jitter, 0.25);
+        assert_eq!(cfg.only_disk, Some(1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultConfig::parse("media=two").is_err());
+        assert!(FaultConfig::parse("bogus=1").is_err());
+        assert!(FaultConfig::parse("media=1.5").is_err());
+        assert!(FaultConfig::parse("scenario=ramp:1").is_err());
+        assert!(FaultConfig::parse("stall=0.1").is_err()); // no mean
+        assert!(FaultConfig::parse("stall=0.1:0.05:pareto:1.5").is_err());
+    }
+
+    #[test]
+    fn scenario_factors() {
+        let burst = ChaosScenario::Burst {
+            start: 10,
+            rounds: 5,
+            factor: 4.0,
+        };
+        assert_eq!(burst.factor(9, 0), 1.0);
+        assert_eq!(burst.factor(10, 0), 4.0);
+        assert_eq!(burst.factor(14, 0), 4.0);
+        assert_eq!(burst.factor(15, 0), 1.0);
+
+        let ramp = ChaosScenario::Ramp {
+            start: 100,
+            rounds: 100,
+            peak: 9.0,
+        };
+        assert_eq!(ramp.factor(0, 0), 1.0);
+        assert_eq!(ramp.factor(100, 0), 1.0);
+        assert_eq!(ramp.factor(150, 0), 5.0);
+        assert_eq!(ramp.factor(200, 0), 9.0);
+        assert_eq!(ramp.factor(10_000, 0), 9.0);
+
+        let zf = ChaosScenario::ZoneFailure {
+            zone: 2,
+            start: 0,
+            rounds: 100,
+            factor: 20.0,
+        };
+        assert_eq!(zf.factor(50, 2), 20.0);
+        assert_eq!(zf.factor(50, 1), 1.0);
+        assert_eq!(zf.factor(100, 2), 1.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let bad = [
+            FaultProfile {
+                p_media: -0.1,
+                ..FaultProfile::default()
+            },
+            FaultProfile {
+                p_stall: 0.1, // no mean
+                ..FaultProfile::default()
+            },
+            FaultProfile {
+                p_unavail: 0.1,
+                unavail_rounds: 0,
+                ..FaultProfile::default()
+            },
+            FaultProfile {
+                reread_rotations: f64::NAN,
+                ..FaultProfile::default()
+            },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounded retry/timeout/backoff policy for failed reads.
+
+use crate::FaultError;
+
+/// Caps on read-recovery effort. The invariants the injector maintains
+/// (and the proptests pin down):
+///
+/// * at most `max_attempts` attempts per read, the first included;
+/// * each attempt's stall time is clamped at `attempt_timeout`;
+/// * the backoff sequence is monotone non-decreasing even under jitter
+///   (each delay is the max of the jittered nominal and its
+///   predecessor);
+/// * the *total* retry latency charged to a read never exceeds the
+///   round-slack budget the caller supplies — a read that would need
+///   more becomes an explicit glitch instead of stretching the round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per read, including the first (`≥ 1`).
+    pub max_attempts: u32,
+    /// Per-attempt stall clamp in seconds.
+    pub attempt_timeout: f64,
+    /// Backoff before the first retry, in seconds.
+    pub backoff_base: f64,
+    /// Multiplier applied per further retry (`≥ 1`).
+    pub backoff_factor: f64,
+    /// Upper clamp on the nominal backoff, in seconds.
+    pub backoff_cap: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by
+    /// `1 + jitter·u` with `u` uniform in `[0, 1)`. Jitter only ever
+    /// lengthens a delay, which is what keeps the sequence monotone
+    /// after the running max.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            attempt_timeout: 0.25,
+            backoff_base: 0.002,
+            backoff_factor: 2.0,
+            backoff_cap: 0.05,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validate ranges.
+    ///
+    /// # Errors
+    /// [`FaultError::Invalid`] for a zero attempt count, non-positive
+    /// timeout, negative or non-finite backoff parameters, a factor
+    /// below 1, or jitter outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        if self.max_attempts == 0 {
+            return Err(FaultError::Invalid(
+                "retry policy needs at least one attempt".into(),
+            ));
+        }
+        if !(self.attempt_timeout > 0.0) || !self.attempt_timeout.is_finite() {
+            return Err(FaultError::Invalid(format!(
+                "attempt timeout must be positive, got {}",
+                self.attempt_timeout
+            )));
+        }
+        if !(self.backoff_base >= 0.0) || !self.backoff_base.is_finite() {
+            return Err(FaultError::Invalid(format!(
+                "backoff base must be ≥ 0, got {}",
+                self.backoff_base
+            )));
+        }
+        if !(self.backoff_factor >= 1.0) || !self.backoff_factor.is_finite() {
+            return Err(FaultError::Invalid(format!(
+                "backoff factor must be ≥ 1, got {}",
+                self.backoff_factor
+            )));
+        }
+        if !(self.backoff_cap >= 0.0) || !self.backoff_cap.is_finite() {
+            return Err(FaultError::Invalid(format!(
+                "backoff cap must be ≥ 0, got {}",
+                self.backoff_cap
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.jitter) || self.jitter.is_nan() {
+            return Err(FaultError::Invalid(format!(
+                "jitter must be in [0, 1], got {}",
+                self.jitter
+            )));
+        }
+        Ok(())
+    }
+
+    /// Nominal (jitter-free) backoff before retry `index` (0-based):
+    /// `min(base·factor^index, cap)`. Monotone non-decreasing in `index`
+    /// because the factor is `≥ 1` and the clamp is a running ceiling.
+    #[must_use]
+    pub fn nominal_backoff(&self, index: u32) -> f64 {
+        let exp = i32::try_from(index).unwrap_or(i32::MAX);
+        (self.backoff_base * self.backoff_factor.powi(exp)).min(self.backoff_cap)
+    }
+
+    /// The actual delay before retry `index`, given the previous delay
+    /// and a uniform jitter draw `u ∈ [0, 1)`: the running max of the
+    /// jittered nominal, so the sequence never decreases.
+    #[must_use]
+    pub fn backoff(&self, index: u32, prev: f64, u: f64) -> f64 {
+        let jittered = self.nominal_backoff(index) * (1.0 + self.jitter * u);
+        jittered.max(prev)
+    }
+
+    /// How many retries follow a failed first attempt (`max_attempts − 1`).
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        RetryPolicy::default().validate().unwrap();
+    }
+
+    #[test]
+    fn nominal_backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            backoff_base: 0.01,
+            backoff_factor: 2.0,
+            backoff_cap: 0.05,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.nominal_backoff(0), 0.01);
+        assert_eq!(p.nominal_backoff(1), 0.02);
+        assert_eq!(p.nominal_backoff(2), 0.04);
+        assert_eq!(p.nominal_backoff(3), 0.05);
+        assert_eq!(p.nominal_backoff(10), 0.05);
+    }
+
+    #[test]
+    fn jittered_backoff_is_monotone() {
+        let p = RetryPolicy {
+            jitter: 1.0,
+            ..RetryPolicy::default()
+        };
+        // Adversarial jitter draws: big early, zero later.
+        let us = [0.99, 0.0, 0.5, 0.0, 0.0];
+        let mut prev = 0.0;
+        for (i, &u) in us.iter().enumerate() {
+            let b = p.backoff(u32::try_from(i).unwrap(), prev, u);
+            assert!(b >= prev, "backoff decreased at retry {i}: {b} < {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let bad = [
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                attempt_timeout: 0.0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                backoff_factor: 0.5,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                jitter: 1.5,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                backoff_base: f64::NAN,
+                ..RetryPolicy::default()
+            },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "{p:?}");
+        }
+    }
+}

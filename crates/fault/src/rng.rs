@@ -1,0 +1,114 @@
+//! Private SplitMix64 stream for fault draws.
+
+/// A SplitMix64 generator. Same finalizer as `mzd_par::derive_seed` and
+/// the vendored `StdRng` seed expander, so fault streams keyed by
+/// `(seed, index)` compose with the rest of the stack's determinism
+/// contract: the sequence is fixed by the seed alone, on every platform.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A stream seeded from `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 significant bits.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw. Always consumes exactly one uniform, even for
+    /// `p = 0`, so the draw count per read is profile-independent.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponential draw with the given mean (0 for a zero mean).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if !(mean > 0.0) {
+            let _ = self.next_f64();
+            return 0.0;
+        }
+        let u = self.next_f64();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Pareto draw with the given *mean* and tail `shape` (> 1). The
+    /// scale is `mean·(shape − 1)/shape`, so the distribution's mean
+    /// matches the exponential parameterisation used elsewhere.
+    pub fn pareto(&mut self, mean: f64, shape: f64) -> f64 {
+        if !(mean > 0.0) || !(shape > 1.0) {
+            let _ = self.next_f64();
+            return 0.0;
+        }
+        let scale = mean * (shape - 1.0) / shape;
+        let u = self.next_f64();
+        scale / (1.0 - u).powf(1.0 / shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = FaultRng::seeded(7);
+        let mut b = FaultRng::seeded(7);
+        let mut c = FaultRng::seeded(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = FaultRng::seeded(42);
+        for _ in 0..1000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = FaultRng::seeded(1);
+        assert!((0..100).all(|_| !r.bernoulli(0.0)));
+        assert!((0..100).all(|_| r.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn exp_and_pareto_means_roughly_match() {
+        let mut r = FaultRng::seeded(5);
+        let n = 20_000;
+        let exp_mean: f64 = (0..n).map(|_| r.exp(0.05)).sum::<f64>() / f64::from(n);
+        assert!((exp_mean - 0.05).abs() < 0.005, "exp mean {exp_mean}");
+        let par_mean: f64 = (0..n).map(|_| r.pareto(0.05, 3.0)).sum::<f64>() / f64::from(n);
+        assert!((par_mean - 0.05).abs() < 0.01, "pareto mean {par_mean}");
+    }
+
+    #[test]
+    fn degenerate_draws_still_consume_one_uniform() {
+        let mut a = FaultRng::seeded(9);
+        let mut b = FaultRng::seeded(9);
+        let _ = a.exp(0.0);
+        let _ = b.pareto(0.0, 3.0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,302 @@
+//! Glitch-budget-aware graceful degradation.
+//!
+//! When the SLO layer's fast-burn alert says the promised glitch budget
+//! is burning too quickly — typically because a disk has started
+//! injecting faults the admission model never priced — the server does
+//! not simply keep glitching until streams drain. It walks a **ladder**
+//! of progressively more intrusive load-shedding rungs, cheapest first:
+//!
+//! | rung | action |
+//! |------|--------|
+//! | 0    | normal operation |
+//! | 1    | freeze cache-aware over-admission (back to the proven limit) |
+//! | 2    | drop work-ahead prefetching (the disks' best-effort slack work) |
+//! | 3    | downshift streams marked degradable to a reduced fragment size |
+//! | 4    | pause the newest streams (they hold their reservation and resume) |
+//!
+//! Transitions are hysteretic: the ladder escalates only after
+//! [`DegradeSettings::escalate_rounds`] *consecutive* alert rounds and
+//! recovers one rung only after [`DegradeSettings::recover_rounds`]
+//! consecutive clear rounds, so a flapping burn signal cannot thrash
+//! stream state. Escalation is deliberately faster than recovery.
+
+use crate::ServerError;
+
+/// Rung 1: freeze cache-aware over-admission.
+pub const RUNG_FREEZE_OVER_ADMISSION: u8 = 1;
+/// Rung 2: drop work-ahead prefetching.
+pub const RUNG_DROP_PREFETCH: u8 = 2;
+/// Rung 3: downshift degradable streams.
+pub const RUNG_DOWNSHIFT: u8 = 3;
+/// Rung 4 (top): pause the newest streams.
+pub const RUNG_PAUSE_NEWEST: u8 = 4;
+
+/// Configuration of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeSettings {
+    /// Consecutive fast-burn-alert rounds before climbing one rung.
+    pub escalate_rounds: u64,
+    /// Consecutive alert-free rounds before stepping down one rung.
+    pub recover_rounds: u64,
+    /// Fragment-size multiplier applied to degradable streams at rung 3+
+    /// (e.g. `0.5` halves their bandwidth — a lower-bitrate rendition).
+    pub downshift_factor: f64,
+    /// Fraction of active streams paused, newest first, on entering
+    /// rung 4.
+    pub shed_fraction: f64,
+}
+
+impl Default for DegradeSettings {
+    fn default() -> Self {
+        Self {
+            escalate_rounds: 8,
+            recover_rounds: 64,
+            downshift_factor: 0.5,
+            shed_fraction: 0.25,
+        }
+    }
+}
+
+impl DegradeSettings {
+    /// Validate the settings.
+    ///
+    /// # Errors
+    /// [`ServerError::Invalid`] for zero hysteresis windows, a downshift
+    /// factor outside `(0, 1]`, or a shed fraction outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ServerError> {
+        if self.escalate_rounds == 0 || self.recover_rounds == 0 {
+            return Err(ServerError::Invalid(
+                "degrade hysteresis windows must be at least one round".into(),
+            ));
+        }
+        if !(self.downshift_factor > 0.0 && self.downshift_factor <= 1.0) {
+            return Err(ServerError::Invalid(format!(
+                "downshift factor must be in (0, 1], got {}",
+                self.downshift_factor
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.shed_fraction) || self.shed_fraction.is_nan() {
+            return Err(ServerError::Invalid(format!(
+                "shed fraction must be in [0, 1], got {}",
+                self.shed_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A ladder transition, reported by the per-round degradation observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeTransition {
+    /// Climbed to the given rung.
+    Escalated(u8),
+    /// Stepped down to the given rung.
+    Recovered(u8),
+}
+
+/// Point-in-time summary of the ladder, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeStatus {
+    /// Current rung (0 = normal).
+    pub rung: u8,
+    /// Rung escalations so far.
+    pub escalations: u64,
+    /// Rung recoveries so far.
+    pub recoveries: u64,
+    /// Streams currently paused by the ladder.
+    pub shed_streams: u64,
+}
+
+/// `degrade.*` metric handles, cached like the server's other families.
+#[derive(Debug)]
+pub(crate) struct DegradeMetrics {
+    pub rung: mzd_telemetry::Gauge,
+    pub escalations: mzd_telemetry::Counter,
+    pub recoveries: mzd_telemetry::Counter,
+    pub shed_streams: mzd_telemetry::Gauge,
+    pub downshift_rounds: mzd_telemetry::Counter,
+}
+
+impl DegradeMetrics {
+    fn new() -> Self {
+        let g = mzd_telemetry::global();
+        Self {
+            rung: g.gauge("degrade.rung"),
+            escalations: g.counter("degrade.escalations"),
+            recoveries: g.counter("degrade.recoveries"),
+            shed_streams: g.gauge("degrade.shed_streams"),
+            downshift_rounds: g.counter("degrade.downshift_rounds"),
+        }
+    }
+}
+
+/// The ladder's state machine. Owned by the server; fed the burn-alert
+/// signal once per round.
+#[derive(Debug)]
+pub(crate) struct DegradeState {
+    pub settings: DegradeSettings,
+    rung: u8,
+    alert_streak: u64,
+    clear_streak: u64,
+    escalations: u64,
+    recoveries: u64,
+    pub metrics: DegradeMetrics,
+}
+
+impl DegradeState {
+    pub(crate) fn new(settings: DegradeSettings) -> Result<Self, ServerError> {
+        settings.validate()?;
+        Ok(Self {
+            settings,
+            rung: 0,
+            alert_streak: 0,
+            clear_streak: 0,
+            escalations: 0,
+            recoveries: 0,
+            metrics: DegradeMetrics::new(),
+        })
+    }
+
+    /// Current rung.
+    pub(crate) fn rung(&self) -> u8 {
+        self.rung
+    }
+
+    pub(crate) fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    pub(crate) fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Feed one round's burn-alert state; returns a transition when the
+    /// hysteresis threshold is crossed. At most one rung moves per round.
+    pub(crate) fn observe(&mut self, alert_active: bool) -> Option<DegradeTransition> {
+        if alert_active {
+            self.clear_streak = 0;
+            self.alert_streak += 1;
+            if self.alert_streak >= self.settings.escalate_rounds && self.rung < RUNG_PAUSE_NEWEST {
+                self.rung += 1;
+                self.alert_streak = 0;
+                self.escalations += 1;
+                self.metrics.rung.set(f64::from(self.rung));
+                self.metrics.escalations.inc();
+                return Some(DegradeTransition::Escalated(self.rung));
+            }
+        } else {
+            self.alert_streak = 0;
+            self.clear_streak += 1;
+            if self.clear_streak >= self.settings.recover_rounds && self.rung > 0 {
+                self.rung -= 1;
+                self.clear_streak = 0;
+                self.recoveries += 1;
+                self.metrics.rung.set(f64::from(self.rung));
+                self.metrics.recoveries.inc();
+                return Some(DegradeTransition::Recovered(self.rung));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(escalate: u64, recover: u64) -> DegradeState {
+        DegradeState::new(DegradeSettings {
+            escalate_rounds: escalate,
+            recover_rounds: recover,
+            ..DegradeSettings::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_settings() {
+        for bad in [
+            DegradeSettings {
+                escalate_rounds: 0,
+                ..DegradeSettings::default()
+            },
+            DegradeSettings {
+                recover_rounds: 0,
+                ..DegradeSettings::default()
+            },
+            DegradeSettings {
+                downshift_factor: 0.0,
+                ..DegradeSettings::default()
+            },
+            DegradeSettings {
+                downshift_factor: 1.5,
+                ..DegradeSettings::default()
+            },
+            DegradeSettings {
+                shed_fraction: -0.1,
+                ..DegradeSettings::default()
+            },
+            DegradeSettings {
+                shed_fraction: f64::NAN,
+                ..DegradeSettings::default()
+            },
+        ] {
+            assert!(DegradeState::new(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn escalates_only_after_sustained_alert() {
+        let mut s = state(3, 10);
+        assert_eq!(s.observe(true), None);
+        assert_eq!(s.observe(true), None);
+        assert_eq!(s.observe(true), Some(DegradeTransition::Escalated(1)));
+        assert_eq!(s.rung(), 1);
+        // The streak resets after a transition: three more rounds needed.
+        assert_eq!(s.observe(true), None);
+        assert_eq!(s.observe(true), None);
+        assert_eq!(s.observe(true), Some(DegradeTransition::Escalated(2)));
+    }
+
+    #[test]
+    fn flapping_alert_never_escalates() {
+        let mut s = state(3, 10);
+        for _ in 0..50 {
+            assert_eq!(s.observe(true), None);
+            assert_eq!(s.observe(true), None);
+            assert_eq!(s.observe(false), None);
+        }
+        assert_eq!(s.rung(), 0);
+    }
+
+    #[test]
+    fn recovery_is_slower_and_steps_one_rung_at_a_time() {
+        let mut s = state(2, 5);
+        for _ in 0..8 {
+            s.observe(true);
+        }
+        assert_eq!(s.rung(), 4);
+        // Rung is capped at 4 no matter how long the alert persists.
+        for _ in 0..20 {
+            assert_eq!(s.observe(true), None);
+        }
+        assert_eq!(s.rung(), 4);
+        let mut recoveries = Vec::new();
+        for _ in 0..20 {
+            if let Some(t) = s.observe(false) {
+                recoveries.push(t);
+            }
+        }
+        assert_eq!(
+            recoveries,
+            vec![
+                DegradeTransition::Recovered(3),
+                DegradeTransition::Recovered(2),
+                DegradeTransition::Recovered(1),
+                DegradeTransition::Recovered(0),
+            ]
+        );
+        assert_eq!(s.escalations(), 4);
+        assert_eq!(s.recoveries(), 4);
+    }
+}

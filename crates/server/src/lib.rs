@@ -46,12 +46,14 @@
 
 pub mod admission;
 pub mod buffer;
+pub mod degrade;
 pub mod server;
 pub mod slo;
 pub mod striping;
 
 pub use admission::{AdmissionController, AdmissionDecision, QualityTarget};
 pub use buffer::BufferTracker;
+pub use degrade::{DegradeSettings, DegradeStatus};
 pub use server::{CacheSettings, RoundReport, ServerConfig, StreamHandle, VideoServer};
 pub use slo::{SloSettings, SloStatus};
 pub use striping::StripingLayout;

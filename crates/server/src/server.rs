@@ -11,12 +11,17 @@
 
 use crate::admission::{AdmissionController, AdmissionDecision, QualityTarget};
 use crate::buffer::BufferTracker;
+use crate::degrade::{
+    DegradeSettings, DegradeState, DegradeStatus, DegradeTransition, RUNG_DOWNSHIFT,
+    RUNG_DROP_PREFETCH, RUNG_FREEZE_OVER_ADMISSION, RUNG_PAUSE_NEWEST,
+};
 use crate::slo::{SloSettings, SloState, SloStatus};
 use crate::striping::StripingLayout;
 use crate::ServerError;
 use mzd_cache::{CacheConfig, CachePolicy, FragmentCache, FragmentKey, Lookup};
 use mzd_core::{GuaranteeModel, ZoneHandling};
 use mzd_disk::Disk;
+use mzd_fault::FaultConfig;
 use mzd_sim::round::{OverrunPolicy, RoundSimulator, SeekPolicy, SimConfig};
 use mzd_slo::{AlertTransition, DriftTransition, Tracer};
 use mzd_workload::{ObjectSpec, SizeDistribution};
@@ -46,6 +51,8 @@ struct ServerMetrics {
     cache_evictions: mzd_telemetry::Counter,
     cache_occupancy: mzd_telemetry::Gauge,
     cache_hit_latency: mzd_telemetry::Histogram,
+    round_overrun: mzd_telemetry::Counter,
+    prefetch_fetched: mzd_telemetry::Counter,
 }
 
 impl ServerMetrics {
@@ -64,6 +71,8 @@ impl ServerMetrics {
             cache_evictions: g.counter("cache.evictions"),
             cache_occupancy: g.gauge("cache.occupancy_bytes"),
             cache_hit_latency: g.histogram("cache.hit_latency_rounds"),
+            round_overrun: g.counter("server.round.overrun"),
+            prefetch_fetched: g.counter("server.prefetch.fetched"),
         }
     }
 }
@@ -116,6 +125,19 @@ pub struct ServerConfig {
     /// Optional fragment cache in front of the disks. `None` (and
     /// `Some` with a zero byte budget) run the server cacheless.
     pub cache: Option<CacheSettings>,
+    /// Optional fault injection on the disks. `FaultConfig::only_disk`
+    /// restricts the injector to one spindle (degrading-disk drills);
+    /// other disks run clean. `None` runs all disks fault-free.
+    pub faults: Option<FaultConfig>,
+    /// Work-ahead prefetch depth in fragments (0 = off). When a cache is
+    /// configured, each disk uses its post-sweep slack to pull up to this
+    /// many upcoming fragments per stream into the cache, best-effort.
+    /// Dropped at degradation rung 2+.
+    pub work_ahead: u32,
+    /// Optional graceful-degradation ladder, driven by the SLO layer's
+    /// fast-burn alert (requires [`VideoServer::enable_slo`] to actually
+    /// escalate — without the burn signal the ladder stays at rung 0).
+    pub degrade: Option<DegradeSettings>,
 }
 
 impl ServerConfig {
@@ -146,6 +168,9 @@ impl ServerConfig {
             admission_size_mean: 200_000.0,
             admission_size_variance: 1e10,
             cache: None,
+            faults: None,
+            work_ahead: 0,
+            degrade: None,
         })
     }
 
@@ -187,6 +212,9 @@ struct Session {
     /// Paused streams hold their admission reservation but request no
     /// fragments (VCR pause with guaranteed resumption).
     paused: bool,
+    /// Degradable streams accept a reduced fragment size at degradation
+    /// rung 3+ (a lower-bitrate rendition).
+    degradable: bool,
 }
 
 /// A finished (played-out or cancelled) stream's record.
@@ -265,6 +293,10 @@ pub struct VideoServer {
     metrics: ServerMetrics,
     /// Optional SLO layer: burn alerting, conformance, tracing.
     slo: Option<SloState>,
+    /// Optional graceful-degradation ladder.
+    degrade: Option<DegradeState>,
+    /// Streams paused by the ladder's rung-4 shed, to resume on recovery.
+    shed_by_degrade: Vec<u64>,
 }
 
 impl VideoServer {
@@ -292,6 +324,19 @@ impl VideoServer {
                 admission.enable_cache_aware(safety)?;
             }
         }
+        if let Some(fc) = &cfg.faults {
+            fc.validate()
+                .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            if let Some(d) = fc.only_disk {
+                if d >= cfg.disks {
+                    return Err(ServerError::Invalid(format!(
+                        "fault only_disk {d} out of range for {} disks",
+                        cfg.disks
+                    )));
+                }
+            }
+        }
+        let degrade = cfg.degrade.map(DegradeState::new).transpose()?;
         let sim_cfg = SimConfig {
             disk: cfg.disk.clone(),
             sizes: SizeDistribution::gamma(cfg.admission_size_mean, cfg.admission_size_variance)
@@ -301,9 +346,20 @@ impl VideoServer {
             overrun: OverrunPolicy::CompleteAll,
             placement: mzd_disk::PlacementPolicy::UniformByCapacity,
             recalibration: None,
+            faults: None,
         };
         let disks = (0..cfg.disks)
-            .map(|d| RoundSimulator::new(sim_cfg.clone(), seed.wrapping_add(u64::from(d) + 1)))
+            .map(|d| {
+                let mut sc = sim_cfg.clone();
+                // `only_disk` scopes the injector to one spindle; the
+                // others run clean (byte-identical to a fault-free disk).
+                sc.faults = cfg
+                    .faults
+                    .as_ref()
+                    .filter(|fc| fc.only_disk.map_or(true, |k| k == d))
+                    .cloned();
+                RoundSimulator::new(sc, seed.wrapping_add(u64::from(d) + 1))
+            })
             .collect::<Result<Vec<_>, _>>()?;
         let disk_count = cfg.disks as usize;
         Ok(Self {
@@ -326,6 +382,8 @@ impl VideoServer {
             batch_keys: vec![Vec::new(); disk_count],
             metrics: ServerMetrics::new(),
             slo: None,
+            degrade,
+            shed_by_degrade: Vec::new(),
         })
     }
 
@@ -477,6 +535,7 @@ impl VideoServer {
                     glitches: 0,
                     buffer: BufferTracker::new(),
                     paused: false,
+                    degradable: false,
                 });
                 self.metrics.accepted.inc();
                 let ts = self.trace_now_us();
@@ -581,6 +640,7 @@ impl VideoServer {
                         glitches: 0,
                         buffer: BufferTracker::new(),
                         paused: false,
+                        degradable: false,
                     });
                     admitted.push(StreamHandle(id));
                     self.metrics.accepted.inc();
@@ -725,6 +785,91 @@ impl VideoServer {
             .ok_or(ServerError::UnknownStream(handle.id()))
     }
 
+    /// Mark a stream degradable: at degradation rung 3+ it is served a
+    /// reduced fragment size ([`DegradeSettings::downshift_factor`])
+    /// instead of glitching — a lower-bitrate rendition the client opted
+    /// into. Idempotent.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownStream`] if the handle is not active.
+    pub fn set_degradable(
+        &mut self,
+        handle: StreamHandle,
+        degradable: bool,
+    ) -> Result<(), ServerError> {
+        let s = self
+            .sessions
+            .iter_mut()
+            .find(|s| s.id == handle.id())
+            .ok_or(ServerError::UnknownStream(handle.id()))?;
+        s.degradable = degradable;
+        Ok(())
+    }
+
+    /// Point-in-time summary of the degradation ladder, `None` when no
+    /// ladder is configured.
+    #[must_use]
+    pub fn degrade_status(&self) -> Option<DegradeStatus> {
+        self.degrade.as_ref().map(|d| DegradeStatus {
+            rung: d.rung(),
+            escalations: d.escalations(),
+            recoveries: d.recoveries(),
+            shed_streams: self.shed_by_degrade.len() as u64,
+        })
+    }
+
+    /// Rung 4: pause the newest [`DegradeSettings::shed_fraction`] of
+    /// unpaused streams. They hold their admission reservation (exactly
+    /// like a VCR pause) and resume automatically when the ladder steps
+    /// back below rung 4.
+    fn shed_newest_streams(&mut self) {
+        let fraction = self
+            .degrade
+            .as_ref()
+            .map_or(0.0, |d| d.settings.shed_fraction);
+        let mut candidates: Vec<(u64, usize)> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.paused)
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // Newest first: the most recently admitted streams lose service
+        // first, preserving the oldest commitments.
+        candidates.sort_unstable_by_key(|&(id, _)| std::cmp::Reverse(id));
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let shed = ((candidates.len() as f64 * fraction).ceil() as usize).min(candidates.len());
+        for &(id, idx) in candidates.iter().take(shed) {
+            self.sessions[idx].paused = true;
+            self.shed_by_degrade.push(id);
+        }
+    }
+
+    /// Resume every stream the ladder shed, if still active.
+    fn resume_shed_streams(&mut self) {
+        for id in self.shed_by_degrade.drain(..) {
+            if let Some(s) = self.sessions.iter_mut().find(|s| s.id == id) {
+                s.paused = false;
+            }
+        }
+    }
+
+    fn emit_degrade_event(&self, action: &'static str, rung: u8) {
+        if mzd_telemetry::events_enabled() {
+            mzd_telemetry::emit(
+                mzd_telemetry::Event::new("server.degrade")
+                    .str("action", action)
+                    .u64("rung", u64::from(rung))
+                    .u64("round", self.rounds_run)
+                    .u64("shed", self.shed_by_degrade.len() as u64),
+            );
+        }
+    }
+
     /// Advance one global round: serve every active stream's next fragment
     /// — from the cache when it is resident or already being fetched,
     /// from the assigned disk otherwise — account glitches and buffers,
@@ -745,6 +890,12 @@ impl VideoServer {
         }
         let trace_ts = self.trace_now_us();
         let round_us = (self.cfg.round_length * 1e6) as u64;
+        let rung = self.degrade.as_ref().map_or(0, DegradeState::rung);
+        let downshift_factor = self
+            .degrade
+            .as_ref()
+            .map_or(1.0, |d| d.settings.downshift_factor);
+        let mut downshifted_requests = 0u64;
         let mut stream_rounds = 0u64;
         let mut round_hits = 0u64;
         let mut round_delayed = 0u64;
@@ -769,6 +920,14 @@ impl VideoServer {
             let size = match s.object.stored_fragment_size(frag) {
                 Some(stored) => stored,
                 None => s.object.sizes.sample(&mut self.rng),
+            };
+            // Rung 3+: degradable streams accept a reduced rendition
+            // instead of risking glitches at the full rate.
+            let size = if rung >= RUNG_DOWNSHIFT && s.degradable {
+                downshifted_requests += 1;
+                size * downshift_factor
+            } else {
+                size
             };
             let mut fetch_key = None;
             let mut serve_from_disk = true;
@@ -833,12 +992,75 @@ impl VideoServer {
         let rot_half = self.cfg.disk.rotation_time() / 2.0;
         let inv_rate = self.cfg.disk.inverse_rate_moment(1);
 
+        // Work-ahead prefetch: upcoming fragments of cached stored
+        // objects ride each disk's post-sweep slack, best-effort (the
+        // mandatory batch keeps priority). Dropped at degradation
+        // rung 2+ — slack work is the cheapest load to shed.
+        let mut extra_sizes: Vec<Vec<f64>> = vec![Vec::new(); self.disks.len()];
+        let mut extra_keys: Vec<Vec<FragmentKey>> = vec![Vec::new(); self.disks.len()];
+        if self.cfg.work_ahead > 0 && rung < RUNG_DROP_PREFETCH {
+            if let Some(cache) = self.cache.as_ref() {
+                let mut queued = std::collections::HashSet::new();
+                for s in &self.sessions {
+                    if s.paused {
+                        continue;
+                    }
+                    let Some(cid) = s.object.content_id else {
+                        continue;
+                    };
+                    for look in 1..=self.cfg.work_ahead {
+                        let frag = s.fragments_consumed + look;
+                        if frag >= s.object.rounds {
+                            break;
+                        }
+                        let Some(bytes) = s.object.stored_fragment_size(frag) else {
+                            break;
+                        };
+                        let key = FragmentKey {
+                            object: cid,
+                            fragment: frag,
+                        };
+                        if cache.contains(key) || cache.fetch_in_flight(key) || !queued.insert(key)
+                        {
+                            continue;
+                        }
+                        let d = self.layout.disk_of_fragment(s.start_disk, frag) as usize;
+                        extra_sizes[d].push(bytes);
+                        extra_keys[d].push(key);
+                    }
+                }
+            }
+        }
+
         let mut disk_summaries = Vec::with_capacity(self.disks.len());
         let mut glitched_ids = Vec::new();
         for (d, sim) in self.disks.iter_mut().enumerate() {
             let sizes = &self.batch_sizes[d];
             self.metrics.queue_depth.record(sizes.len() as f64);
-            let out = sim.run_round_sized(sizes);
+            let (out, prefetched) = sim.run_round_sized_with_extras(sizes, &extra_sizes[d]);
+            if out.late {
+                self.metrics.round_overrun.inc();
+                if mzd_telemetry::events_enabled() {
+                    mzd_telemetry::emit(
+                        mzd_telemetry::Event::new("server.round.overrun")
+                            .u64("round", self.rounds_run)
+                            .u64("disk", d as u64)
+                            .f64("overrun", out.service_time - self.cfg.round_length)
+                            .u64("requests", sizes.len() as u64),
+                    );
+                }
+            }
+            if prefetched.served > 0 {
+                let cache = self.cache.as_mut().expect("prefetch implies a cache");
+                for (&key, &bytes) in extra_keys[d]
+                    .iter()
+                    .zip(&extra_sizes[d])
+                    .take(prefetched.served)
+                {
+                    cache.insert(key, bytes, rot_half + bytes * inv_rate);
+                }
+                self.metrics.prefetch_fetched.add(prefetched.served as u64);
+            }
             if let Some(slo) = self.slo.as_mut() {
                 slo.record_disk_span(
                     d as u64,
@@ -1012,6 +1234,41 @@ impl VideoServer {
                         .f64("ks", cc_ks)
                         .f64("tail_exceedance", cc_tail),
                 );
+            }
+        }
+
+        // Graceful degradation: the ladder climbs on sustained fast-burn
+        // alert, steps down on sustained quiet. Without an SLO layer the
+        // burn signal is absent and the ladder stays at rung 0.
+        if self.degrade.is_some() {
+            let alert = self.slo.as_ref().is_some_and(|s| s.burn.alert_active());
+            let transition = self.degrade.as_mut().and_then(|d| d.observe(alert));
+            match transition {
+                Some(DegradeTransition::Escalated(r)) => {
+                    if r == RUNG_PAUSE_NEWEST {
+                        self.shed_newest_streams();
+                    }
+                    self.emit_degrade_event("escalate", r);
+                }
+                Some(DegradeTransition::Recovered(r)) => {
+                    if r == RUNG_PAUSE_NEWEST - 1 {
+                        self.resume_shed_streams();
+                    }
+                    self.emit_degrade_event("recover", r);
+                }
+                None => {}
+            }
+            // With a ladder attached, the over-admission freeze holds as
+            // long as rung 1+ is engaged, independent of the
+            // instantaneous alert state the SLO layer reacts to.
+            let rung_now = self.degrade.as_ref().map_or(0, DegradeState::rung);
+            self.admission
+                .set_over_admission_frozen(alert || rung_now >= RUNG_FREEZE_OVER_ADMISSION);
+            if let Some(d) = self.degrade.as_ref() {
+                d.metrics
+                    .shed_streams
+                    .set(self.shed_by_degrade.len() as f64);
+                d.metrics.downshift_rounds.add(downshifted_requests);
             }
         }
 
@@ -1569,5 +1826,166 @@ mod tests {
             let rb = b.run_round();
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn clean_fault_config_is_byte_identical_to_none() {
+        let mut plain = server(2, 61);
+        let mut clean = {
+            let mut cfg = ServerConfig::paper_reference(2).unwrap();
+            cfg.faults = Some(mzd_fault::FaultConfig::default());
+            VideoServer::new(cfg, 61).unwrap()
+        };
+        for _ in 0..8 {
+            plain.open_stream(short_object(40)).unwrap();
+            clean.open_stream(short_object(40)).unwrap();
+        }
+        for _ in 0..40 {
+            assert_eq!(plain.run_round(), clean.run_round());
+        }
+    }
+
+    #[test]
+    fn faulty_disks_glitch_more_than_clean() {
+        let run = |faults: Option<mzd_fault::FaultConfig>| {
+            let mut cfg = ServerConfig::paper_reference(1).unwrap();
+            cfg.faults = faults;
+            let mut s = VideoServer::new(cfg, 62).unwrap();
+            while s.open_stream(short_object(10_000)).is_ok() {}
+            s.run_rounds(300)
+        };
+        let clean = run(None);
+        let faulty = run(Some(mzd_fault::FaultConfig {
+            profile: mzd_fault::FaultProfile {
+                p_media: 0.05,
+                ..mzd_fault::FaultProfile::default()
+            },
+            ..mzd_fault::FaultConfig::default()
+        }));
+        // Most media errors recover via in-slack retries; only the ones
+        // whose retries exhaust the remaining round slack glitch.
+        assert!(
+            faulty > clean + 20,
+            "faulty glitches {faulty} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn only_disk_scopes_the_injector() {
+        let faults = |only: Option<u32>| mzd_fault::FaultConfig {
+            profile: mzd_fault::FaultProfile {
+                p_media: 0.10,
+                ..mzd_fault::FaultProfile::default()
+            },
+            only_disk: only,
+            ..mzd_fault::FaultConfig::default()
+        };
+        // out-of-range disk index rejected
+        let mut cfg = ServerConfig::paper_reference(2).unwrap();
+        cfg.faults = Some(faults(Some(2)));
+        assert!(VideoServer::new(cfg, 63).is_err());
+        // scoping to one of two disks roughly halves the damage
+        let run = |only: Option<u32>| {
+            let mut cfg = ServerConfig::paper_reference(2).unwrap();
+            cfg.faults = Some(faults(only));
+            let mut s = VideoServer::new(cfg, 63).unwrap();
+            while s.open_stream(short_object(10_000)).is_ok() {}
+            s.run_rounds(200)
+        };
+        let both = run(None);
+        let one = run(Some(0));
+        assert!(
+            one * 2 < both + both / 2 && one > 0,
+            "one-disk glitches {one} vs both-disk {both}"
+        );
+    }
+
+    #[test]
+    fn work_ahead_prefetch_fills_the_cache_ahead_of_consumption() {
+        let mut cfg = ServerConfig::paper_reference(1).unwrap();
+        cfg.cache = Some(CacheSettings::lru(1e9));
+        cfg.work_ahead = 3;
+        let mut s = VideoServer::new(cfg, 64).unwrap();
+        s.open_stream(stored_object("movie", 7, 40)).unwrap();
+        for _ in 0..5 {
+            s.run_round();
+        }
+        // With one stream and ample slack, fragments beyond the playhead
+        // are already resident.
+        let cache = s.cache().unwrap();
+        let ahead = (5..8)
+            .filter(|&f| {
+                cache.contains(FragmentKey {
+                    object: 7,
+                    fragment: f,
+                })
+            })
+            .count();
+        assert!(ahead > 0, "no work-ahead fragments resident");
+        // And consuming them later is a pure hit, not a disk visit.
+        let hits_before = cache.stats().hits;
+        for _ in 0..3 {
+            s.run_round();
+        }
+        assert!(s.cache().unwrap().stats().hits > hits_before);
+    }
+
+    #[test]
+    fn degradation_ladder_escalates_under_fault_storm_and_sheds_newest() {
+        let mut cfg = ServerConfig::paper_reference(1).unwrap();
+        cfg.faults = Some(mzd_fault::FaultConfig {
+            profile: mzd_fault::FaultProfile {
+                p_media: 0.30,
+                ..mzd_fault::FaultProfile::default()
+            },
+            ..mzd_fault::FaultConfig::default()
+        });
+        cfg.degrade = Some(crate::degrade::DegradeSettings {
+            escalate_rounds: 4,
+            recover_rounds: 16,
+            ..crate::degrade::DegradeSettings::default()
+        });
+        let mut s = VideoServer::new(cfg, 65).unwrap();
+        s.enable_slo(crate::slo::SloSettings::for_target(s.config().target))
+            .unwrap();
+        let mut handles = Vec::new();
+        while let Ok(h) = s.open_stream(short_object(10_000)) {
+            handles.push(h);
+        }
+        assert_eq!(s.degrade_status().unwrap().rung, 0);
+        for _ in 0..120 {
+            s.run_round();
+        }
+        let status = s.degrade_status().unwrap();
+        assert_eq!(status.rung, 4, "fault storm must max the ladder");
+        assert!(status.escalations >= 4);
+        assert!(status.shed_streams > 0, "rung 4 must shed streams");
+        // Shed streams are the newest handles and are paused, not gone.
+        let shed = status.shed_streams as usize;
+        let active = s.active_streams();
+        assert_eq!(active, handles.len(), "shedding keeps reservations");
+        let paused: usize = handles.iter().filter(|h| s.is_paused(**h).unwrap()).count();
+        assert_eq!(paused, shed);
+        for h in handles.iter().rev().take(shed) {
+            assert!(s.is_paused(*h).unwrap(), "newest streams shed first");
+        }
+        // Admission stays frozen at rung 1+.
+        assert!(s.slo_status().unwrap().over_admission_frozen);
+    }
+
+    #[test]
+    fn ladder_without_slo_stays_at_rung_zero() {
+        let mut cfg = ServerConfig::paper_reference(1).unwrap();
+        cfg.degrade = Some(crate::degrade::DegradeSettings::default());
+        let mut s = VideoServer::new(cfg, 66).unwrap();
+        for _ in 0..4 {
+            s.open_stream(short_object(100)).unwrap();
+        }
+        for _ in 0..50 {
+            s.run_round();
+        }
+        let status = s.degrade_status().unwrap();
+        assert_eq!(status.rung, 0);
+        assert_eq!(status.escalations, 0);
     }
 }

@@ -141,6 +141,7 @@ pub fn run_point(cfg: &CacheSweepConfig, seed: u64) -> Result<CacheSweepPoint, S
         overrun: OverrunPolicy::CompleteAll,
         placement: mzd_disk::PlacementPolicy::UniformByCapacity,
         recalibration: None,
+        faults: None,
     };
     let mut disk = RoundSimulator::new(sim_cfg, seed.wrapping_add(1))?;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -17,9 +17,16 @@ use crate::SimError;
 use mzd_disk::placement::PlacementPolicy;
 use mzd_disk::scan::SweepDirection;
 use mzd_disk::Disk;
+use mzd_fault::{FaultConfig, FaultCounters, FaultInjector};
 use mzd_workload::SizeDistribution;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
+
+/// Index of the fault injector's sub-stream under `mzd_par::derive_seed`:
+/// the injector draws from an independent stream keyed off the simulator
+/// seed, so fault draws never perturb the simulator's own RNG (a
+/// zero-fault profile is byte-identical to running without an injector).
+const FAULT_SEED_STREAM: u64 = 0xFA17;
 
 /// Global-registry handles cached per simulator so the per-round hot
 /// path never touches the registry's lock.
@@ -44,6 +51,44 @@ impl RoundMetrics {
             rotational_time: g.histogram("sim.round.rotational_time"),
             transfer_time: g.histogram("sim.round.transfer_time"),
         }
+    }
+}
+
+/// `fault.*` metric handles. Created only when an injector is configured,
+/// so fault-free runs do not grow empty metric families.
+#[derive(Debug)]
+struct FaultMetrics {
+    media_errors: mzd_telemetry::Counter,
+    retries: mzd_telemetry::Counter,
+    stalls: mzd_telemetry::Counter,
+    remaps: mzd_telemetry::Counter,
+    failed_reads: mzd_telemetry::Counter,
+    unavailable_rounds: mzd_telemetry::Counter,
+    fault_time: mzd_telemetry::Histogram,
+}
+
+impl FaultMetrics {
+    fn new() -> Self {
+        let g = mzd_telemetry::global();
+        Self {
+            media_errors: g.counter("fault.media_errors"),
+            retries: g.counter("fault.retries"),
+            stalls: g.counter("fault.stalls"),
+            remaps: g.counter("fault.remaps"),
+            failed_reads: g.counter("fault.failed_reads"),
+            unavailable_rounds: g.counter("fault.unavailable_rounds"),
+            fault_time: g.histogram("fault.round_time"),
+        }
+    }
+
+    fn observe(&self, delta: &FaultCounters) {
+        self.media_errors.add(delta.media_errors);
+        self.retries.add(delta.retries);
+        self.stalls.add(delta.stalls);
+        self.remaps.add(delta.remaps);
+        self.failed_reads.add(delta.failed_reads);
+        self.unavailable_rounds.add(delta.unavailable_rounds);
+        self.fault_time.record(delta.fault_time);
     }
 }
 
@@ -93,6 +138,14 @@ pub struct SimConfig {
     /// seconds to re-measure head alignment — a classic hazard for
     /// real-time service that AV-rated drives suppressed).
     pub recalibration: Option<Recalibration>,
+    /// Optional fault injection: media-error rereads, transient stalls,
+    /// unavailability windows, remap detours and chaos scenarios
+    /// ([`mzd_fault::FaultConfig`]). `None` — and a config whose profile
+    /// is all-zero — leaves every simulated round byte-identical to the
+    /// fault-free simulator. (`only_disk` is a server-layer concern and
+    /// ignored here: the per-disk simulator injects whatever it is
+    /// given.)
+    pub faults: Option<FaultConfig>,
 }
 
 /// Thermal-recalibration behaviour: every round, with probability
@@ -124,6 +177,7 @@ impl SimConfig {
             overrun: OverrunPolicy::CompleteAll,
             placement: PlacementPolicy::UniformByCapacity,
             recalibration: None,
+            faults: None,
         })
     }
 
@@ -148,6 +202,9 @@ impl SimConfig {
                     r.mean_interval_rounds, r.duration
                 )));
             }
+        }
+        if let Some(f) = &self.faults {
+            f.validate().map_err(|e| SimError::Invalid(e.to_string()))?;
         }
         Ok(())
     }
@@ -189,6 +246,10 @@ pub struct RoundOutcome {
     /// Decomposition: thermal-recalibration stall, if one fired this
     /// round (0 otherwise).
     pub stall_time: f64,
+    /// Decomposition: time added by injected faults — retry rereads,
+    /// backoff waits, transient stalls and remap detours (0 when no
+    /// injector is configured or no fault fired).
+    pub fault_time: f64,
 }
 
 /// Outcome of the discrete best-effort phase of a mixed round.
@@ -225,6 +286,13 @@ pub struct RoundSimulator {
     /// Rounds served so far — the logical round id of emitted events.
     rounds_run: u64,
     metrics: RoundMetrics,
+    /// Fault injector, when `cfg.faults` is set. Owns a private RNG
+    /// stream so the simulator's own draws are untouched.
+    injector: Option<FaultInjector>,
+    fault_metrics: Option<FaultMetrics>,
+    /// Injector counters as of the last observed round, for per-round
+    /// deltas.
+    last_fault_counters: FaultCounters,
 }
 
 impl RoundSimulator {
@@ -238,6 +306,11 @@ impl RoundSimulator {
             .placement
             .zone_weights(&cfg.disk)
             .map_err(|e| SimError::Invalid(e.to_string()))?;
+        let injector = cfg
+            .faults
+            .as_ref()
+            .map(|fc| FaultInjector::new(fc, mzd_par::derive_seed(seed, FAULT_SEED_STREAM)));
+        let fault_metrics = injector.as_ref().map(|_| FaultMetrics::new());
         Ok(Self {
             cfg,
             rng: StdRng::seed_from_u64(seed),
@@ -247,6 +320,9 @@ impl RoundSimulator {
             requests: Vec::new(),
             rounds_run: 0,
             metrics: RoundMetrics::new(),
+            injector,
+            fault_metrics,
+            last_fault_counters: FaultCounters::default(),
         })
     }
 
@@ -435,10 +511,16 @@ impl RoundSimulator {
         let disk = &self.cfg.disk;
         let curve = disk.seek_curve();
         let deadline = self.cfg.round_length;
+        let full_seek = curve.max_seek_time(disk.cylinders());
+        let mut injector = self.injector.as_mut();
+        if let Some(inj) = injector.as_deref_mut() {
+            inj.begin_round();
+        }
         let mut clock = stall;
         let mut seek_total = 0.0;
         let mut rot_total = 0.0;
         let mut trans_total = 0.0;
+        let mut fault_total = 0.0;
         let mut glitched = Vec::new();
         let mut pos = self.arm_position;
         for req in &self.requests {
@@ -454,7 +536,20 @@ impl RoundSimulator {
             rot_total += req.rotational;
             trans_total += transfer;
             pos = req.cylinder;
-            if clock > deadline {
+            let mut failed = false;
+            if let Some(inj) = injector.as_deref_mut() {
+                let pert = inj.perturb_read(
+                    req.zone as u32,
+                    transfer,
+                    disk.rotation_time(),
+                    full_seek,
+                    deadline - clock,
+                );
+                clock += pert.extra_time;
+                fault_total += pert.extra_time;
+                failed = pert.failed;
+            }
+            if failed || clock > deadline {
                 glitched.push(req.stream);
             }
         }
@@ -468,6 +563,7 @@ impl RoundSimulator {
             rotational_time: rot_total,
             transfer_time: trans_total,
             stall_time: stall,
+            fault_time: fault_total,
         };
         self.observe_round(&outcome);
         outcome
@@ -488,6 +584,11 @@ impl RoundSimulator {
         m.seek_time.record(outcome.seek_time);
         m.rotational_time.record(outcome.rotational_time);
         m.transfer_time.record(outcome.transfer_time);
+        if let (Some(inj), Some(fm)) = (&self.injector, &self.fault_metrics) {
+            let now = inj.counters();
+            fm.observe(&now.minus(&self.last_fault_counters));
+            self.last_fault_counters = now;
+        }
         if mzd_telemetry::events_enabled() {
             let glitched: Vec<u64> = outcome
                 .glitched_streams
@@ -503,6 +604,7 @@ impl RoundSimulator {
                     .f64("rot", outcome.rotational_time)
                     .f64("transfer", outcome.transfer_time)
                     .f64("stall", outcome.stall_time)
+                    .f64("fault", outcome.fault_time)
                     .bool("late", outcome.late)
                     .u64_list("glitched", &glitched),
             );
@@ -533,9 +635,115 @@ mod tests {
         let mut s = sim(2);
         for _ in 0..50 {
             let out = s.run_round(27);
-            let sum = out.seek_time + out.rotational_time + out.transfer_time + out.stall_time;
+            let sum = out.seek_time
+                + out.rotational_time
+                + out.transfer_time
+                + out.stall_time
+                + out.fault_time;
             assert!((out.service_time - sum).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn faulty_decomposition_sums_to_service_time() {
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.faults = Some(mzd_fault::FaultConfig::preset("flaky").unwrap());
+        let mut s = RoundSimulator::new(cfg, 2).unwrap();
+        let mut fault_seen = 0.0;
+        for _ in 0..200 {
+            let out = s.run_round(27);
+            let sum = out.seek_time
+                + out.rotational_time
+                + out.transfer_time
+                + out.stall_time
+                + out.fault_time;
+            assert!((out.service_time - sum).abs() < 1e-9);
+            fault_seen += out.fault_time;
+        }
+        assert!(fault_seen > 0.0, "flaky preset never injected anything");
+    }
+
+    #[test]
+    fn zero_fault_injector_is_byte_identical_to_no_injector() {
+        let mut plain = sim(21);
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.faults = Some(mzd_fault::FaultConfig::default());
+        assert!(cfg.faults.as_ref().unwrap().profile.is_clean());
+        let mut clean = RoundSimulator::new(cfg, 21).unwrap();
+        for _ in 0..100 {
+            assert_eq!(plain.run_round(26), clean.run_round(26));
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_for_fixed_seed() {
+        let cfg = || {
+            let mut c = SimConfig::paper_reference().unwrap();
+            c.faults = Some(mzd_fault::FaultConfig::preset("flaky").unwrap());
+            c
+        };
+        let mut a = RoundSimulator::new(cfg(), 33).unwrap();
+        let mut b = RoundSimulator::new(cfg(), 33).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.run_round(26), b.run_round(26));
+        }
+    }
+
+    #[test]
+    fn media_errors_raise_the_glitch_rate() {
+        let glitches = |p_media: f64| {
+            let mut cfg = SimConfig::paper_reference().unwrap();
+            if p_media > 0.0 {
+                cfg.faults = Some(mzd_fault::FaultConfig {
+                    profile: mzd_fault::FaultProfile {
+                        p_media,
+                        ..mzd_fault::FaultProfile::default()
+                    },
+                    ..mzd_fault::FaultConfig::default()
+                });
+            }
+            let mut s = RoundSimulator::new(cfg, 34).unwrap();
+            let mut g = 0usize;
+            for _ in 0..2000 {
+                g += s.run_round(26).glitched_streams.len();
+            }
+            g
+        };
+        let clean = glitches(0.0);
+        let faulty = glitches(0.05);
+        assert!(
+            faulty > clean + 20,
+            "5% media errors: {faulty} glitches vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn unavailability_windows_glitch_whole_rounds() {
+        let mut cfg = SimConfig::paper_reference().unwrap();
+        cfg.faults = Some(mzd_fault::FaultConfig {
+            profile: mzd_fault::FaultProfile {
+                p_unavail: 0.05,
+                unavail_rounds: 2,
+                ..mzd_fault::FaultProfile::default()
+            },
+            ..mzd_fault::FaultConfig::default()
+        });
+        let mut s = RoundSimulator::new(cfg, 35).unwrap();
+        let n = 10u32;
+        let mut whole_round_glitches = 0u32;
+        for _ in 0..1000 {
+            let out = s.run_round(n);
+            // An unavailable round fails every read without stretching
+            // the clock: all n streams glitch while the sweep itself
+            // stays comfortably inside the deadline.
+            if out.glitched_streams.len() == n as usize && !out.late {
+                whole_round_glitches += 1;
+            }
+        }
+        assert!(
+            whole_round_glitches >= 50,
+            "only {whole_round_glitches} unavailable rounds observed"
+        );
     }
 
     #[test]

@@ -145,12 +145,118 @@ proptest! {
         ).expect("valid");
         let out = sim.run_round(n);
         prop_assert!(out.service_time >= 0.0);
-        let sum = out.seek_time + out.rotational_time + out.transfer_time + out.stall_time;
+        let sum = out.seek_time + out.rotational_time + out.transfer_time + out.stall_time
+            + out.fault_time;
         prop_assert!((out.service_time - sum).abs() < 1e-9);
         prop_assert!(out.glitched_streams.len() <= n as usize);
         prop_assert_eq!(out.late, out.service_time > 1.0);
         for &s in &out.glitched_streams {
             prop_assert!(s < n);
+        }
+    }
+
+    #[test]
+    fn retry_latency_never_exceeds_the_slack_budget(
+        seed in 0u64..10_000,
+        p_media in 0.0f64..1.0,
+        slack in -0.01f64..0.25,
+        max_attempts in 1u32..8,
+        backoff_base in 0.0f64..0.01,
+        backoff_factor in 1.0f64..4.0,
+        jitter in 0.0f64..1.0,
+    ) {
+        use mzd_fault::{FaultConfig, FaultInjector, FaultProfile, RetryPolicy};
+        let cfg = FaultConfig {
+            profile: FaultProfile { p_media, ..FaultProfile::default() },
+            retry: RetryPolicy {
+                max_attempts,
+                backoff_base,
+                backoff_factor,
+                jitter,
+                ..RetryPolicy::default()
+            },
+            ..FaultConfig::default()
+        };
+        cfg.validate().expect("strategy only emits valid configs");
+        let mut inj = FaultInjector::new(&cfg, seed);
+        inj.begin_round();
+        // Paper-ish read kinematics; only the budget invariant matters.
+        for _ in 0..64 {
+            let p = inj.perturb_read(0, 0.007, 0.0116, 0.018, slack);
+            prop_assert!(
+                p.retry_time <= slack.max(0.0) + 1e-12,
+                "retry latency {} exceeds the slack budget {slack}", p.retry_time
+            );
+            prop_assert!(p.extra_time >= p.retry_time);
+            prop_assert!(p.extra_time.is_finite() && p.extra_time >= 0.0);
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_sequence_is_monotone_non_decreasing(
+        backoff_base in 0.0f64..0.02,
+        backoff_factor in 1.0f64..4.0,
+        backoff_cap in 0.0f64..0.1,
+        jitter in 0.0f64..1.0,
+        us in proptest::collection::vec(0.0f64..1.0, 1..12),
+    ) {
+        use mzd_fault::RetryPolicy;
+        let policy = RetryPolicy {
+            backoff_base,
+            backoff_factor,
+            backoff_cap,
+            jitter,
+            ..RetryPolicy::default()
+        };
+        policy.validate().expect("strategy only emits valid policies");
+        let mut prev = 0.0;
+        for (i, &u) in us.iter().enumerate() {
+            let b = policy.backoff(u32::try_from(i).unwrap(), prev, u);
+            prop_assert!(b >= prev, "backoff decreased at retry {i}: {b} < {prev}");
+            prop_assert!(b.is_finite());
+            prev = b;
+        }
+    }
+}
+
+// Zero-fault byte-identity needs the process-global worker pool pinned,
+// so it runs in its own block with few cases and a shared lock.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn clean_fault_config_is_byte_identical_to_no_injector_across_jobs(
+        seed in 0u64..1_000,
+        n in 1u32..30,
+    ) {
+        use mzd_fault::FaultConfig;
+        use mzd_sim::{estimate_p_late_par, SimConfig};
+        static JOBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = JOBS_LOCK.lock().unwrap();
+        let base = SimConfig::paper_reference().expect("valid");
+        let clean = SimConfig {
+            faults: Some(FaultConfig::default()),
+            ..SimConfig::paper_reference().expect("valid")
+        };
+        let mut outcomes = Vec::new();
+        for jobs in [1usize, 8] {
+            mzd_par::set_jobs(jobs);
+            let a = estimate_p_late_par(&base, n, 60, 2, seed).expect("valid");
+            let b = estimate_p_late_par(&clean, n, 60, 2, seed).expect("valid");
+            outcomes.push((jobs, a, b));
+        }
+        mzd_par::set_jobs(0);
+        let reference = outcomes[0].1.p_late.to_bits();
+        for (jobs, a, b) in outcomes {
+            prop_assert_eq!(a.p_late.to_bits(), b.p_late.to_bits(), "jobs = {}", jobs);
+            prop_assert_eq!(
+                a.mean_service_time.to_bits(),
+                b.mean_service_time.to_bits(),
+                "jobs = {}", jobs
+            );
+            prop_assert_eq!(a.late_rounds, b.late_rounds, "jobs = {}", jobs);
+            // And the worker count itself never changes the answer.
+            prop_assert_eq!(a.p_late.to_bits(), reference, "jobs = {}", jobs);
         }
     }
 }
