@@ -1,0 +1,87 @@
+//! Cost of the profiling/flight-recorder layer itself.
+//!
+//! The phase profiler and flight recorder ride inside `run_round`, so
+//! their disabled cost is paid by *every* serving round. Targets:
+//!
+//! * `phase_disabled` — a [`mzd_prof::phase`] guard with profiling off
+//!   is one relaxed atomic load plus an inert guard: single-digit ns.
+//! * `phase_enabled` — with profiling on, enter+exit is a thread-local
+//!   stack push/pop, one `Instant` read pair and a map merge on pop;
+//!   the budget is ~1 µs (it runs once per round section, not per
+//!   request, so even the enabled cost is invisible next to a
+//!   millisecond-scale sweep).
+//! * `recorder_push` — one ring-slot write behind a mutex; the snapshot
+//!   clone dominates. Budget: low single-digit µs per round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sample_snapshot() -> mzd_prof::RoundSnapshot {
+    mzd_prof::RoundSnapshot {
+        round: 41,
+        active_streams: 27,
+        waiting_streams: 3,
+        glitches: 1,
+        rung: 0,
+        burn_fast: 0.8,
+        burn_slow: 0.4,
+        burn_long: 0.2,
+        cache_hits: 9,
+        cache_delayed_hits: 1,
+        cache_misses: 17,
+        cache_occupancy_bytes: 4.2e7,
+        load: vec![14, 13],
+        rng_positions: vec![41, 41],
+        disks: (0..2)
+            .map(|d| mzd_prof::DiskPhases {
+                disk: d,
+                requests: 14,
+                service_time: 0.81,
+                late: false,
+                seek_time: 0.11,
+                rotational_time: 0.29,
+                transfer_time: 0.41,
+                stall_time: 0.0,
+                fault_time: 0.0,
+            })
+            .collect(),
+        faults: mzd_prof::FaultTotals::default(),
+    }
+}
+
+fn bench_prof(c: &mut Criterion) {
+    // The price every unprofiled run pays: guard creation + drop with
+    // the global enable flag off.
+    mzd_prof::set_profiling(false);
+    c.bench_function("phase_disabled", |b| {
+        b.iter(|| {
+            let _g = mzd_prof::phase(black_box("server.round"));
+        });
+    });
+
+    mzd_prof::reset_profile();
+    mzd_prof::set_profiling(true);
+    c.bench_function("phase_enabled", |b| {
+        b.iter(|| {
+            let _outer = mzd_prof::phase("server.round");
+            let _inner = mzd_prof::phase(black_box("sweep"));
+        });
+    });
+    mzd_prof::set_profiling(false);
+
+    let dir = std::env::temp_dir().join(format!("mzd_prof_bench_{}", std::process::id()));
+    let recorder = mzd_prof::Recorder::new(mzd_prof::RecorderSettings::new(&dir));
+    let snapshot = sample_snapshot();
+    c.bench_function("recorder_push", |b| {
+        b.iter(|| recorder.push(black_box(snapshot.clone())));
+    });
+
+    c.bench_function("flame_render_small", |b| {
+        let folded = mzd_prof::collapsed();
+        b.iter(|| black_box(mzd_prof::render_flame_svg(black_box(&folded))));
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_prof);
+criterion_main!(benches);

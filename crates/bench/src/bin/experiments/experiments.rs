@@ -924,19 +924,35 @@ fn timed_pair(entries: &mut Vec<BenchEntry>, name: &'static str, iters: u32, mut
     mzd_par::set_jobs(0);
 }
 
-/// Machine-readable micro-benchmark summary: writes `BENCH_core.json`
-/// (solver-side costs) and `BENCH_sim.json` (simulator-side costs) into
-/// the current directory, each entry in ns/op with jobs = 1 vs jobs = 4
-/// speedups for the parallelized paths.
-pub fn bench_summary(budget: Budget) {
+/// Measure every summary entry under `budget`. Shared by `bench-summary`
+/// (artifact generation) and `bench-check` (regression gate) so the two
+/// commands can never drift apart in what they time.
+///
+/// The first core entry is `calibration_p_late_bound` — a fixed, purely
+/// CPU-bound Chernoff evaluation with no allocation or parallelism. Its
+/// ratio against the committed baseline estimates how fast the current
+/// host is relative to the baseline host, letting the regression gate
+/// rescale thresholds instead of flagging slow CI runners as
+/// regressions.
+fn measure_entries(budget: Budget) -> (Vec<BenchEntry>, Vec<BenchEntry>) {
     use std::hint::black_box;
-    println!("bench-summary: ns/op at jobs = 1 vs jobs = 4\n");
     let model = GuaranteeModel::paper_reference().expect("reference model");
     let thresholds = [0.0001, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25];
     let table_iters = if budget.quick { 2 } else { 8 };
     let cdf_iters = if budget.quick { 2 } else { 8 };
 
     let mut core = Vec::new();
+    core.push(BenchEntry {
+        name: "calibration_p_late_bound",
+        jobs: 1,
+        ns_per_op: median_ns_per_op(if budget.quick { 400 } else { 4000 }, || {
+            black_box(
+                model
+                    .p_late_bound(black_box(27), black_box(1.0))
+                    .expect("valid t"),
+            );
+        }),
+    });
     timed_pair(
         &mut core,
         "admission_table_late_8_thresholds",
@@ -966,7 +982,6 @@ pub fn bench_summary(budget: Budget) {
             mzd_core::ServiceTimeCdf::with_resolution(&model, black_box(28), 257).expect("builds"),
         );
     });
-    write_summary("BENCH_core.json", "core", &core);
 
     let cfg = SimConfig::paper_reference().expect("reference sim");
     let rep_rounds = budget.scale(1600);
@@ -1017,12 +1032,165 @@ pub fn bench_summary(budget: Budget) {
             }),
         });
     }
-    write_summary("BENCH_sim.json", "sim", &sim);
+    (core, sim)
+}
 
-    for e in core.iter().chain(&sim) {
+/// Machine-readable micro-benchmark summary: writes `BENCH_core.json`
+/// (solver-side costs), `BENCH_sim.json` (simulator-side costs) and a
+/// combined `BENCH_baseline.json` into the current directory, each entry
+/// in ns/op with jobs = 1 vs jobs = 4 speedups for the parallelized
+/// paths. To refresh the regression-gate baseline, copy the combined
+/// file over `crates/bench/golden/BENCH_baseline.json` — the committed
+/// golden is generated with `--quick`, and `bench-check` always measures
+/// with the quick protocol so the two stay comparable.
+pub fn bench_summary(budget: Budget) {
+    println!("bench-summary: ns/op at jobs = 1 vs jobs = 4\n");
+    let (core, sim) = measure_entries(budget);
+    write_summary("BENCH_core.json", "core", &core);
+    write_summary("BENCH_sim.json", "sim", &sim);
+    let combined: Vec<BenchEntry> = core
+        .iter()
+        .chain(&sim)
+        .map(|e| BenchEntry {
+            name: e.name,
+            jobs: e.jobs,
+            ns_per_op: e.ns_per_op,
+        })
+        .collect();
+    write_summary("BENCH_baseline.json", "baseline", &combined);
+
+    for e in &combined {
         println!(
             "  {:<38} jobs={}  {:>14.1} ns/op",
             e.name, e.jobs, e.ns_per_op
         );
     }
+}
+
+/// Perf-regression gate: re-measure every summary entry with the quick
+/// protocol and compare against the committed
+/// `crates/bench/golden/BENCH_baseline.json`.
+///
+/// Host-speed normalization: the baseline's thresholds are scaled by the
+/// calibration ratio (fresh / baseline time of the fixed
+/// `calibration_p_late_bound` op), clamped to `[0.25, 4]` so a wildly
+/// mis-measured calibration cannot silence the gate entirely. An entry
+/// fails when `fresh > scaled_baseline * 1.25 + 500 ns` — 25% headroom
+/// for measurement noise plus an absolute slack that keeps sub-µs ops
+/// from tripping on scheduler jitter. Exits non-zero on any regression
+/// or on a catalog mismatch (entry measured but absent from the golden).
+///
+/// Only `jobs = 1` entries gate. Multi-worker timings on a host with
+/// fewer free cores than workers measure the OS scheduler, not the
+/// code (observed 2x swings run-to-run on a 1-CPU container), so
+/// `jobs = 4` rows are printed for the artifact trail but never fail
+/// the build — the jobs=1 row of the same operation catches any real
+/// code regression.
+pub fn bench_check(_: Budget) {
+    // The committed golden is generated with --quick; always measure the
+    // same protocol, whatever flag the caller passed. (budget.scale
+    // changes the per-op *work* of replicated_p_late, so quick and full
+    // runs time different operations and are not comparable.)
+    let budget = Budget { quick: true };
+    println!("bench-check: fresh --quick measurement vs committed baseline\n");
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/BENCH_baseline.json");
+    let text = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {golden_path}: {e}"));
+    let doc = mzd_telemetry::json::parse(&text).expect("baseline parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("mzd-bench-summary/v1"),
+        "unexpected baseline schema in {golden_path}"
+    );
+    // (name, jobs) -> baseline ns/op.
+    let mut baseline: Vec<(String, usize, f64)> = Vec::new();
+    for e in doc
+        .get("entries")
+        .and_then(mzd_telemetry::json::Value::as_array)
+        .expect("baseline has entries")
+    {
+        let name = e.get("name").and_then(|v| v.as_str()).expect("entry name");
+        let jobs = e.get("jobs").and_then(|v| v.as_f64()).expect("entry jobs") as usize;
+        let ns = e
+            .get("ns_per_op")
+            .and_then(|v| v.as_f64())
+            .expect("entry ns_per_op");
+        baseline.push((name.to_string(), jobs, ns));
+    }
+    let lookup = |name: &str, jobs: usize| {
+        baseline
+            .iter()
+            .find(|(n, j, _)| n == name && *j == jobs)
+            .map(|(_, _, ns)| *ns)
+    };
+
+    let (core, sim) = measure_entries(budget);
+    let fresh: Vec<&BenchEntry> = core.iter().chain(&sim).collect();
+
+    let cal_fresh = fresh
+        .iter()
+        .find(|e| e.name == "calibration_p_late_bound")
+        .expect("calibration entry measured")
+        .ns_per_op;
+    let cal_base = lookup("calibration_p_late_bound", 1)
+        .expect("baseline has calibration_p_late_bound — refresh the golden with bench-summary");
+    let ratio = (cal_fresh / cal_base).clamp(0.25, 4.0);
+    println!(
+        "  host calibration: fresh {cal_fresh:.0} ns vs baseline {cal_base:.0} ns \
+         -> threshold scale {ratio:.2}x\n"
+    );
+
+    println!(
+        "  {:<38} jobs {:>12} {:>12} {:>12}  status",
+        "entry", "baseline", "allowed", "fresh"
+    );
+    let mut failures = 0u32;
+    for e in &fresh {
+        if e.name == "calibration_p_late_bound" {
+            continue;
+        }
+        let gated = e.jobs == 1;
+        let Some(base) = lookup(e.name, e.jobs) else {
+            println!(
+                "  {:<38}    {}  {:>12} {:>12} {:>12.0}  MISSING from golden",
+                e.name, e.jobs, "-", "-", e.ns_per_op
+            );
+            if gated {
+                failures += 1;
+            }
+            continue;
+        };
+        let allowed = base * ratio * 1.25 + 500.0;
+        let regressed = gated && e.ns_per_op > allowed;
+        if regressed {
+            failures += 1;
+        }
+        println!(
+            "  {:<38}    {}  {:>12.0} {:>12.0} {:>12.0}  {}",
+            e.name,
+            e.jobs,
+            base,
+            allowed,
+            e.ns_per_op,
+            if regressed {
+                "REGRESSED"
+            } else if gated {
+                "ok"
+            } else {
+                "info (jobs>1 not gated)"
+            }
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "\nbench-check FAILED: {failures} entr{} regressed beyond 25% (+500 ns) of the \
+             host-scaled baseline.\nIf the slowdown is intended, refresh the golden:\n  \
+             cargo run --release -p mzd-bench --bin experiments -- bench-summary --quick\n  \
+             cp BENCH_baseline.json crates/bench/golden/BENCH_baseline.json",
+            if failures == 1 { "y" } else { "ies" }
+        );
+        std::process::exit(1);
+    }
+    println!("\nbench-check passed: no entry beyond the noise-adjusted threshold.");
 }

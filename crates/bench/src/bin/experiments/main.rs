@@ -58,6 +58,7 @@ fn main() {
         Some("drift") => experiments::drift(budget),
         Some("faults") => experiments::faults(budget),
         Some("bench-summary") => experiments::bench_summary(budget),
+        Some("bench-check") => experiments::bench_check(budget),
         Some("all") => experiments::all(budget),
         other => {
             if let Some(o) = other {
@@ -87,8 +88,11 @@ fn main() {
                  drift        model drift: conformance checker vs zone skew\n  \
                  faults       fault injection: fault-priced N_max vs observed\n               \
                  glitch rate (writes FAULT_sweep.json)\n  \
-                 bench-summary  write BENCH_core.json / BENCH_sim.json\n                 \
-                 (ns/op, jobs=1 vs jobs=4 speedups)\n  \
+                 bench-summary  write BENCH_core.json / BENCH_sim.json /\n                 \
+                 BENCH_baseline.json (ns/op, jobs=1 vs jobs=4 speedups)\n  \
+                 bench-check  perf-regression gate: fresh --quick measurement vs\n               \
+                 crates/bench/golden/BENCH_baseline.json (exit 1 on >25%\n               \
+                 host-scaled regression)\n  \
                  all          everything, in order\n\n\
                  --jobs N     worker threads for parallel phases\n               \
                  (results are byte-identical for any N)"

@@ -52,6 +52,9 @@ pub enum Command {
     AnalyzeTrace,
     /// Render an HTML report from a run's telemetry artifacts.
     Report,
+    /// Render a flight-recorder post-mortem bundle as a timeline and
+    /// audit its phase decomposition against the analytic model.
+    Postmortem,
     /// Print usage.
     Help,
 }
@@ -84,14 +87,29 @@ commands:
               --work-ahead K      [prefetch K fragments/stream into the
                                    cache in post-sweep slack]
               --degrade           [graceful-degradation ladder driven by
-                                   the burn alert; implies --slo])
+                                   the burn alert; implies --slo]
+              --postmortem-dir DIR [attach the flight recorder; an SLO
+                                    fast-burn alert, a ladder escalation
+                                    or a round overrun dumps a
+                                    post-mortem bundle under DIR]
+              --recorder-capacity N [rounds retained in the flight
+                                     recorder ring; default 64]
+              --dump-on-exit      [also dump a manual bundle at exit]
+              --profile-out PATH  [phase profile as collapsed stacks,
+                                   flamegraph.pl/inferno compatible]
+              --prom-out PATH     [Prometheus text exposition of the
+                                   metrics registry, written per round])
   plan       disks for a population (flags: --population N --m R --g G --epsilon P)
   worstcase  deterministic worst-case limits (eq. 4.1)
   disks      list built-in drive profiles
   analyze-trace  fit a trace file and derive its admission limit
                  (flags: --file PATH [--delta P])
   report     render a self-contained HTML page from a run's telemetry
-             (flags: --events PATH [--metrics PATH] --out PATH)
+             (flags: --events PATH [--metrics PATH] [--profile PATH]
+              --out PATH)
+  postmortem render a flight-recorder bundle as a timeline and audit the
+             observed phase decomposition against the analytic model
+             (flags: --bundle DIR)
   help       this text
 
 common flags:
@@ -114,7 +132,7 @@ observability:
                        go to stderr; with -v, events still stream there)";
 
 /// Flags that take no value; presence means `true`.
-const BOOLEAN_FLAGS: [&str; 4] = ["verbose", "quiet", "slo", "degrade"];
+const BOOLEAN_FLAGS: [&str; 5] = ["verbose", "quiet", "slo", "degrade", "dump-on-exit"];
 
 /// Parse an argument vector (without the program name).
 ///
@@ -134,6 +152,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, CliError> {
         Some("disks") => Command::Disks,
         Some("analyze-trace") => Command::AnalyzeTrace,
         Some("report") => Command::Report,
+        Some("postmortem") => Command::Postmortem,
         Some("help") | None => Command::Help,
         Some(other) => {
             return Err(CliError::Usage(format!(
@@ -332,6 +351,32 @@ mod tests {
         assert_eq!(p.str_opt("fault-profile"), Some("flaky"));
         assert!(p.flag("degrade"));
         assert_eq!(p.u64_or("work-ahead", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn prof_flags_parse() {
+        let p = parse(&v(&[
+            "serve",
+            "--postmortem-dir",
+            "/tmp/pm",
+            "--recorder-capacity",
+            "32",
+            "--dump-on-exit",
+            "--profile-out",
+            "prof.folded",
+            "--prom-out",
+            "metrics.prom",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, Command::Serve);
+        assert_eq!(p.str_opt("postmortem-dir"), Some("/tmp/pm"));
+        assert_eq!(p.u64_or("recorder-capacity", 64).unwrap(), 32);
+        assert!(p.flag("dump-on-exit"));
+        assert_eq!(p.str_opt("profile-out"), Some("prof.folded"));
+        assert_eq!(p.str_opt("prom-out"), Some("metrics.prom"));
+        let p = parse(&v(&["postmortem", "--bundle", "/tmp/pm/b1"])).unwrap();
+        assert_eq!(p.command, Command::Postmortem);
+        assert_eq!(p.str_opt("bundle"), Some("/tmp/pm/b1"));
     }
 
     #[test]

@@ -33,10 +33,11 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
         Command::Plan => plan(parsed),
         Command::WorstCase => worst_case(parsed),
         Command::Report => report(parsed),
+        Command::Postmortem => crate::postmortem::run(parsed),
     }
 }
 
-fn profile_by_name(name: &str) -> Result<DiskProfile, CliError> {
+pub(crate) fn profile_by_name(name: &str) -> Result<DiskProfile, CliError> {
     match name {
         "viking" => Ok(profiles::quantum_viking_2_1()),
         "single75" => Ok(profiles::single_zone_75kb()),
@@ -331,6 +332,36 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
             .enable_slo(settings)
             .map_err(|e| CliError::Execution(e.to_string()))?;
     }
+    if let Some(dir) = parsed.str_opt("postmortem-dir") {
+        let capacity = usize::try_from(parsed.u64_or("recorder-capacity", 64)?)
+            .map_err(|_| CliError::Usage("--recorder-capacity is too large".into()))?;
+        let mut settings = mzd_prof::RecorderSettings::new(dir);
+        settings.capacity = capacity.max(1);
+        // Enough provenance for `mzd postmortem` to rebuild the analytic
+        // model and rerun the exact configuration.
+        settings.config_echo = vec![
+            ("disk".into(), parsed.str_or("disk", "viking").into()),
+            ("disks".into(), disks.to_string()),
+            ("mean".into(), format!("{mean}")),
+            ("sd".into(), format!("{sd}")),
+            ("round".into(), format!("{}", parsed.f64_or("round", 1.0)?)),
+            ("seed".into(), seed.to_string()),
+            ("streams".into(), streams.to_string()),
+            ("rounds".into(), rounds.to_string()),
+            (
+                "fault_profile".into(),
+                parsed.str_or("fault-profile", "").into(),
+            ),
+        ];
+        let recorder = mzd_prof::Recorder::new(settings);
+        mzd_prof::install_panic_hook(recorder.clone());
+        server.attach_recorder(recorder);
+    }
+    let profiling = parsed.str_opt("profile-out").is_some();
+    if profiling {
+        mzd_prof::reset_profile();
+        mzd_prof::set_profiling(true);
+    }
     for _ in 0..streams {
         let object = catalog[zipf.sample(&mut arrivals)].clone();
         server.enqueue_stream(object);
@@ -348,6 +379,22 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
             completions += 1;
             let object = catalog[zipf.sample(&mut arrivals)].clone();
             server.enqueue_stream(object);
+        }
+        // Live exposition: a scraper (or textfile collector) pointed at
+        // the file sees the registry as of the latest completed round.
+        if let Some(path) = parsed.str_opt("prom-out") {
+            let text = mzd_telemetry::prom::render(mzd_telemetry::global());
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+        }
+    }
+    if profiling {
+        mzd_prof::set_profiling(false);
+    }
+    if parsed.flag("dump-on-exit") {
+        if let Some(rec) = server.recorder() {
+            rec.trigger_dump(mzd_prof::DumpTrigger::Manual)
+                .map_err(|e| CliError::Execution(format!("postmortem dump failed: {e}")))?;
         }
     }
 
@@ -460,6 +507,34 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
             let _ = writeln!(out, "  trace: {} span(s) -> {path}", status.trace_spans);
         }
     }
+    if let Some(path) = parsed.str_opt("profile-out") {
+        let folded = mzd_prof::collapsed();
+        std::fs::write(path, &folded)
+            .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "  profile: {} stack(s) -> {path}",
+            folded.lines().count()
+        );
+    }
+    if let Some(rec) = server.recorder() {
+        let dumps = rec.dumps();
+        if dumps.is_empty() {
+            let _ = writeln!(
+                out,
+                "  postmortem: no dump triggered ({} round(s) retained)",
+                rec.len()
+            );
+        }
+        for (trigger, path) in dumps {
+            let _ = writeln!(
+                out,
+                "  postmortem: {} -> {}",
+                trigger.as_str(),
+                path.display()
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -479,7 +554,19 @@ fn report(parsed: &Parsed) -> Result<String, CliError> {
                 .map_err(|e| CliError::Execution(format!("cannot read {path}: {e}")))?,
         ),
     };
-    let html = crate::report::render(&events_text, metrics_text.as_deref(), events_path);
+    let profile_text = match parsed.str_opt("profile") {
+        None => None,
+        Some(path) => Some(
+            std::fs::read_to_string(path)
+                .map_err(|e| CliError::Execution(format!("cannot read {path}: {e}")))?,
+        ),
+    };
+    let html = crate::report::render(
+        &events_text,
+        metrics_text.as_deref(),
+        profile_text.as_deref(),
+        events_path,
+    );
     std::fs::write(out_path, &html)
         .map_err(|e| CliError::Execution(format!("cannot write {out_path}: {e}")))?;
     Ok(format!(

@@ -10,6 +10,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod postmortem;
 pub mod report;
 pub mod telemetry;
 

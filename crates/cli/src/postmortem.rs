@@ -1,0 +1,263 @@
+//! `mzd postmortem` — render a flight-recorder bundle as a
+//! human-readable timeline and audit the observed phase decomposition.
+//!
+//! Two audits run over every retained round:
+//!
+//! * **Identity**: per disk, `seek + rotational + transfer + stall +
+//!   fault` must reproduce `service_time` (to f64 accumulation noise) —
+//!   the invariant the simulator's [`mzd_sim::RoundOutcome`] maintains.
+//!   A violation means the bundle is corrupt or the recorder and
+//!   simulator disagree about the decomposition.
+//! * **Analytic diff**: when the manifest's config echo carries enough
+//!   provenance (disk profile, fragment moments), the observed phase
+//!   totals of the final — triggering — round are compared against the
+//!   §3 analytic expectation (`SEEK` constant, `N·ROT/2`,
+//!   `N·E[T_transfer]`), so an operator can see *which* phase diverged
+//!   from the model the admission decision was priced on.
+
+use crate::args::Parsed;
+use crate::CliError;
+use mzd_core::{GuaranteeModel, ZoneHandling};
+use std::fmt::Write as _;
+
+/// Execute `mzd postmortem --bundle DIR`.
+///
+/// # Errors
+/// [`CliError::Usage`] without `--bundle`; [`CliError::Execution`] when
+/// the bundle is unreadable, tampered with, or schema-incompatible.
+pub fn run(parsed: &Parsed) -> Result<String, CliError> {
+    let dir = parsed
+        .str_opt("bundle")
+        .ok_or_else(|| CliError::Usage("postmortem needs --bundle DIR".into()))?;
+    let bundle = mzd_prof::read_bundle(std::path::Path::new(dir))
+        .map_err(|e| CliError::Execution(format!("bundle {dir}: {e}")))?;
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "postmortem bundle {dir}");
+    let _ = writeln!(
+        out,
+        "  trigger: {} at round {} ({} of {} ring slots captured)",
+        bundle.trigger.as_str(),
+        bundle.round,
+        bundle.captured,
+        bundle.capacity
+    );
+    if !bundle.config.is_empty() {
+        let echo: Vec<String> = bundle
+            .config
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = writeln!(out, "  config: {}", echo.join(" "));
+    }
+
+    let _ = writeln!(out, "\n  round timeline (oldest retained first):");
+    let _ = writeln!(
+        out,
+        "  round   act wait glitch rung  burn-fast  svc(max)  seek     rot      xfer     stall    fault"
+    );
+    let mut identity_violations = 0u64;
+    for s in &bundle.rounds {
+        let (mut seek, mut rot, mut xfer, mut stall, mut fault) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut svc_max: f64 = 0.0;
+        for d in &s.disks {
+            seek += d.seek_time;
+            rot += d.rotational_time;
+            xfer += d.transfer_time;
+            stall += d.stall_time;
+            fault += d.fault_time;
+            svc_max = svc_max.max(d.service_time);
+            if !decomposition_holds(d) {
+                identity_violations += 1;
+            }
+        }
+        let late = s.disks.iter().any(|d| d.late);
+        let _ = writeln!(
+            out,
+            "  {:>6}{} {:>4} {:>4} {:>6} {:>4} {:>9.3}  {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            s.round,
+            if late { "!" } else { " " },
+            s.active_streams,
+            s.waiting_streams,
+            s.glitches,
+            s.rung,
+            s.burn_fast,
+            svc_max,
+            seek,
+            rot,
+            xfer,
+            stall,
+            fault
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n  decomposition identity (seek+rot+xfer+stall+fault = service): {}",
+        if identity_violations == 0 {
+            "holds on every disk-round".to_string()
+        } else {
+            format!("VIOLATED on {identity_violations} disk-round(s)")
+        }
+    );
+    if identity_violations > 0 {
+        return Err(CliError::Execution(format!(
+            "bundle {dir}: phase decomposition violated on {identity_violations} disk-round(s)\n\n{out}"
+        )));
+    }
+
+    if let Some(last) = bundle.rounds.last() {
+        analytic_diff(&mut out, &bundle, last);
+    }
+    Ok(out)
+}
+
+/// Per-disk identity check. The simulator accumulates the clock and the
+/// per-phase totals in different summation orders, so equality is up to
+/// f64 accumulation noise — a relative 1e-9 covers thousands of
+/// requests while still catching any real bookkeeping error.
+fn decomposition_holds(d: &mzd_prof::DiskPhases) -> bool {
+    let sum = d.seek_time + d.rotational_time + d.transfer_time + d.stall_time + d.fault_time;
+    let tol = 1e-9 * d.service_time.abs().max(1.0);
+    (sum - d.service_time).abs() <= tol
+}
+
+/// Compare the triggering round's observed per-disk phases against the
+/// analytic §3 expectation rebuilt from the manifest's config echo.
+/// Silently skipped when the echo lacks provenance or names an unknown
+/// profile — the timeline above is still rendered.
+fn analytic_diff(out: &mut String, bundle: &mzd_prof::Bundle, last: &mzd_prof::RoundSnapshot) {
+    let Some(model) = model_from_echo(bundle) else {
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "\n  analytic decomposition of the final round (observed / expected, per disk):"
+    );
+    let _ = writeln!(
+        out,
+        "  disk   n      seek             rot              xfer             service"
+    );
+    for d in &last.disks {
+        let Ok(svc) = model.round_service(d.requests.max(1)) else {
+            continue;
+        };
+        let n = f64::from(d.requests);
+        let e_seek = svc.seek_constant();
+        let e_rot = n * svc.rotation_time() / 2.0;
+        let e_xfer = n * svc.transfer().mean();
+        let e_svc = svc.mean();
+        let cell = |obs: f64, exp: f64| format!("{obs:.4} / {exp:.4}",);
+        let _ = writeln!(
+            out,
+            "  {:>4} {:>3}   {:>15}  {:>15}  {:>15}  {:>15}",
+            d.disk,
+            d.requests,
+            cell(d.seek_time, e_seek),
+            cell(d.rotational_time, e_rot),
+            cell(d.transfer_time, e_xfer),
+            cell(d.service_time, e_svc),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (expected: SEEK sweep constant, N*ROT/2, N*E[T_transfer]; a wide gap\n   in one column names the phase that broke the guarantee)"
+    );
+}
+
+/// Rebuild the guarantee model from the manifest config echo, if it
+/// carries `disk`, `mean` and `sd` and the profile is a known built-in.
+fn model_from_echo(bundle: &mzd_prof::Bundle) -> Option<GuaranteeModel> {
+    let profile = bundle.config_value("disk")?;
+    let mean: f64 = bundle.config_value("mean")?.parse().ok()?;
+    let sd: f64 = bundle.config_value("sd")?.parse().ok()?;
+    let disk = crate::commands::profile_by_name(profile)
+        .ok()?
+        .build()
+        .ok()?;
+    GuaranteeModel::new(disk, mean, sd * sd, ZoneHandling::Discrete).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = line.iter().map(ToString::to_string).collect();
+        crate::commands::run(&parse(&args)?)
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mzd_pm_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn postmortem_requires_bundle_flag() {
+        assert!(matches!(run_line(&["postmortem"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_line(&["postmortem", "--bundle", "/nonexistent/bundle"]),
+            Err(CliError::Execution(_))
+        ));
+    }
+
+    #[test]
+    fn serve_dump_round_trips_through_postmortem() {
+        let dir = temp_dir("roundtrip");
+        let out = run_line(&[
+            "serve",
+            "--rounds",
+            "12",
+            "--streams",
+            "8",
+            "--seed",
+            "11",
+            "--postmortem-dir",
+            dir.to_str().unwrap(),
+            "--recorder-capacity",
+            "8",
+            "--dump-on-exit",
+        ])
+        .unwrap();
+        assert!(out.contains("postmortem: manual ->"), "{out}");
+        let bundle = dir.join("postmortem-r000011-manual");
+        assert!(bundle.join("MANIFEST.json").is_file());
+        let rendered = run_line(&["postmortem", "--bundle", bundle.to_str().unwrap()]).unwrap();
+        assert!(
+            rendered.contains("trigger: manual at round 11"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("holds on every disk-round"), "{rendered}");
+        // Provenance echoed into the manifest supports the analytic diff.
+        assert!(rendered.contains("disk=viking"), "{rendered}");
+        assert!(rendered.contains("analytic decomposition"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_bundle_is_rejected() {
+        let dir = temp_dir("tamper");
+        run_line(&[
+            "serve",
+            "--rounds",
+            "6",
+            "--streams",
+            "4",
+            "--seed",
+            "2",
+            "--postmortem-dir",
+            dir.to_str().unwrap(),
+            "--dump-on-exit",
+        ])
+        .unwrap();
+        let bundle = dir.join("postmortem-r000005-manual");
+        let rounds = bundle.join("rounds.jsonl");
+        let mut text = std::fs::read_to_string(&rounds).unwrap();
+        text.push('\n');
+        std::fs::write(&rounds, text).unwrap();
+        let err = run_line(&["postmortem", "--bundle", bundle.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Execution(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

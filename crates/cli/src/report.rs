@@ -296,10 +296,17 @@ fn metrics_section(out: &mut String, metrics_text: &str) {
 /// Render the report page.
 ///
 /// `events_text` is the JSONL stream; `metrics_text` the optional
-/// snapshot. Pure function of its inputs (no clocks), so report output
-/// is reproducible byte-for-byte from the same artifacts.
+/// snapshot; `profile_text` the optional collapsed-stack phase profile
+/// (rendered as an inline flame chart). Pure function of its inputs (no
+/// clocks), so report output is reproducible byte-for-byte from the
+/// same artifacts.
 #[must_use]
-pub fn render(events_text: &str, metrics_text: Option<&str>, source_label: &str) -> String {
+pub fn render(
+    events_text: &str,
+    metrics_text: Option<&str>,
+    profile_text: Option<&str>,
+    source_label: &str,
+) -> String {
     let d = digest_events(events_text);
     let mut out = String::with_capacity(16 * 1024);
     out.push_str(
@@ -429,6 +436,16 @@ pub fn render(events_text: &str, metrics_text: Option<&str>, source_label: &str)
     if let Some(text) = metrics_text {
         metrics_section(&mut out, text);
     }
+    if let Some(folded) = profile_text {
+        let _ = writeln!(out, "<h2>Phase profile</h2>");
+        let _ = writeln!(
+            out,
+            "<p class=\"dim\">self time per phase, widths proportional to \
+             wall-clock share (collapsed-stack input)</p>"
+        );
+        out.push_str(&mzd_prof::render_flame_svg(folded));
+        out.push('\n');
+    }
     out.push_str("</body>\n</html>\n");
     out
 }
@@ -454,7 +471,7 @@ mod tests {
 
     #[test]
     fn renders_well_formed_self_contained_html() {
-        let html = render(&sample_events(), None, "events.jsonl");
+        let html = render(&sample_events(), None, None, "events.jsonl");
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.ends_with("</html>\n"));
         assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
@@ -473,12 +490,12 @@ mod tests {
         let metrics = "{\"counters\":{\"sim.rounds\":16},\"gauges\":{},\
                        \"histograms\":{\"sim.round.service_time\":{\"count\":16,\
                        \"mean\":0.87,\"p50\":0.87,\"p95\":0.94,\"p99\":0.95}}}";
-        let html = render(&sample_events(), Some(metrics), "x");
+        let html = render(&sample_events(), Some(metrics), None, "x");
         assert!(html.contains("Metrics snapshot"));
         assert!(html.contains("sim.rounds"));
         assert!(html.contains("p95"));
         // A broken metrics file degrades gracefully instead of failing.
-        let html = render("", Some("{nope"), "x");
+        let html = render("", Some("{nope"), None, "x");
         assert!(html.contains("did not parse"));
     }
 
@@ -500,7 +517,7 @@ mod tests {
         let metrics = "{\"counters\":{\"fault.media_errors\":3,\"degrade.escalations\":1,\
                        \"par.tasks\":64,\"sim.rounds\":8},\"gauges\":{\"degrade.rung\":0},\
                        \"histograms\":{}}";
-        let html = render(&events, Some(metrics), "events.jsonl");
+        let html = render(&events, Some(metrics), None, "events.jsonl");
         assert!(html.contains("Faults &amp; degradation"), "{html}");
         assert!(
             html.contains("7 round(s) lost time to injected faults"),
@@ -517,14 +534,57 @@ mod tests {
 
     #[test]
     fn fault_free_run_omits_robustness_section() {
-        let html = render(&sample_events(), None, "events.jsonl");
+        let html = render(&sample_events(), None, None, "events.jsonl");
         assert!(!html.contains("Faults &amp; degradation"), "{html}");
+    }
+
+    #[test]
+    fn profile_renders_inline_flame_chart() {
+        let html = render(
+            &sample_events(),
+            None,
+            Some("server.round 100\nserver.round;sweep 700\nserver.round;slo 200\n"),
+            "events.jsonl",
+        );
+        assert!(html.contains("Phase profile"), "{html}");
+        assert!(html.contains("sweep"), "{html}");
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+        assert!(!html.contains("<script") && !html.contains("http"));
+        // An empty profile degrades to a placeholder, not a failure.
+        let html = render("", None, Some(""), "x");
+        assert!(html.contains("empty profile"), "{html}");
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+    }
+
+    #[test]
+    fn empty_and_missing_metric_families_render_cleanly() {
+        // A clean run: no cache.*, no degrade.*, empty sections — the
+        // renderer must not panic or emit unbalanced SVG.
+        let metrics = "{\"counters\":{\"sim.rounds\":4,\"fault.media_errors\":0},\
+                       \"gauges\":{},\"histograms\":{}}";
+        let html = render(&sample_events(), Some(metrics), None, "events.jsonl");
+        assert!(html.contains("Metrics snapshot"), "{html}");
+        assert!(!html.contains("cache.*"), "{html}");
+        assert!(!html.contains("degrade.*"), "{html}");
+        assert!(html.contains("fault.*"), "{html}");
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+        assert!(html.ends_with("</html>\n"));
+        // Entirely empty snapshot: family table is omitted, page intact.
+        let html = render(
+            "",
+            Some("{\"counters\":{},\"gauges\":{},\"histograms\":{}}"),
+            None,
+            "x",
+        );
+        assert!(html.contains("Metrics snapshot"), "{html}");
+        assert!(!html.contains("<h3>families</h3>"), "{html}");
+        assert!(html.ends_with("</html>\n"));
     }
 
     #[test]
     fn escapes_untrusted_text() {
         let events = "{\"event\":\"<script>alert(1)</script>\",\"round\":1}\n";
-        let html = render(events, None, "<evil label>");
+        let html = render(events, None, None, "<evil label>");
         assert!(!html.contains("<script>"));
         assert!(html.contains("&lt;script&gt;"));
         assert!(html.contains("&lt;evil label&gt;"));

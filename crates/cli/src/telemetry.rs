@@ -9,6 +9,9 @@
 //!   (ignored when `--events-out` is given; the file wins).
 //! * `--metrics-out PATH` — at exit, write the global registry snapshot
 //!   (counters, gauges, histogram quantiles) to `PATH` as JSON.
+//! * `--prom-out PATH` — at exit, write the global registry in
+//!   Prometheus text exposition format (`serve` additionally rewrites
+//!   the file every round, so a scraper sees live state).
 
 use crate::args::Parsed;
 use crate::CliError;
@@ -43,6 +46,11 @@ pub fn finish(parsed: &Parsed) -> Result<(), CliError> {
     if let Some(path) = parsed.str_opt("metrics-out") {
         let json = mzd_telemetry::global().snapshot().to_json();
         std::fs::write(path, json)
+            .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = parsed.str_opt("prom-out") {
+        let text = mzd_telemetry::prom::render(mzd_telemetry::global());
+        std::fs::write(path, text)
             .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
     }
     Ok(())

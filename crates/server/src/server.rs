@@ -232,7 +232,9 @@ pub struct CompletedStream {
     pub buffer_high_water: f64,
 }
 
-/// Summary of one disk's round.
+/// Summary of one disk's round, carrying the full phase decomposition
+/// (`seek + rotational + transfer + stall + fault == service_time`
+/// exactly — the invariant `mzd postmortem` audits).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiskRoundSummary {
     /// Disk index.
@@ -243,6 +245,16 @@ pub struct DiskRoundSummary {
     pub service_time: f64,
     /// Whether the disk overran the round.
     pub late: bool,
+    /// Time spent seeking, seconds.
+    pub seek_time: f64,
+    /// Rotational latency, seconds.
+    pub rotational_time: f64,
+    /// Transfer time, seconds.
+    pub transfer_time: f64,
+    /// Recalibration stall time, seconds.
+    pub stall_time: f64,
+    /// Injected fault time, seconds.
+    pub fault_time: f64,
 }
 
 /// Report for one global round.
@@ -297,6 +309,9 @@ pub struct VideoServer {
     degrade: Option<DegradeState>,
     /// Streams paused by the ladder's rung-4 shed, to resume on recovery.
     shed_by_degrade: Vec<u64>,
+    /// Optional flight recorder: retains a ring of per-round snapshots
+    /// and dumps a post-mortem bundle on alert/escalation/overrun.
+    recorder: Option<mzd_prof::Recorder>,
 }
 
 impl VideoServer {
@@ -384,7 +399,24 @@ impl VideoServer {
             slo: None,
             degrade,
             shed_by_degrade: Vec::new(),
+            recorder: None,
         })
+    }
+
+    /// Attach a flight recorder. Every subsequent round pushes one
+    /// [`mzd_prof::RoundSnapshot`] into its ring; an SLO fast-burn alert,
+    /// a degradation-ladder escalation, or a round overrun triggers a
+    /// post-mortem bundle dump (deduplicated per trigger kind by the
+    /// recorder itself). Replaces any previously attached recorder.
+    pub fn attach_recorder(&mut self, recorder: mzd_prof::Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached flight recorder, `None` until
+    /// [`Self::attach_recorder`].
+    #[must_use]
+    pub fn recorder(&self) -> Option<&mzd_prof::Recorder> {
+        self.recorder.as_ref()
     }
 
     /// Attach the SLO layer: a burn-rate engine over the admitted glitch
@@ -875,10 +907,12 @@ impl VideoServer {
     /// from the assigned disk otherwise — account glitches and buffers,
     /// retire finished streams.
     pub fn run_round(&mut self) -> RoundReport {
+        let _phase_round = mzd_prof::phase("server.round");
         // Partition sessions over disks for this round, consulting the
         // cache first: hits skip disk service entirely, delayed hits
         // coalesce onto the in-flight fetch of an earlier stream, misses
         // go to disk and fill the cache on completion.
+        let phase_partition = mzd_prof::phase("partition");
         for b in &mut self.batch {
             b.clear();
         }
@@ -1032,6 +1066,9 @@ impl VideoServer {
             }
         }
 
+        drop(phase_partition);
+
+        let phase_sweep = mzd_prof::phase("sweep");
         let mut disk_summaries = Vec::with_capacity(self.disks.len());
         let mut glitched_ids = Vec::new();
         for (d, sim) in self.disks.iter_mut().enumerate() {
@@ -1078,6 +1115,11 @@ impl VideoServer {
                 requests: sizes.len() as u32,
                 service_time: out.service_time,
                 late: out.late,
+                seek_time: out.seek_time,
+                rotational_time: out.rotational_time,
+                transfer_time: out.transfer_time,
+                stall_time: out.stall_time,
+                fault_time: out.fault_time,
             });
             for &slot in &out.glitched_streams {
                 let session_idx = self.batch[d][slot as usize];
@@ -1119,10 +1161,13 @@ impl VideoServer {
             delayed_waiters.is_empty(),
             "every in-flight fetch completes within its round"
         );
+        drop(phase_sweep);
 
         // SLO: burn-rate accounting against the admitted glitch budget,
         // model conformance on each busy disk's observed sweep time, and
         // the admission brake on alert transitions.
+        let phase_slo = mzd_prof::phase("slo");
+        let mut slo_alert_raised = false;
         if let Some(slo) = self.slo.as_mut() {
             if slo.tracer.is_some() {
                 for &gid in &glitched_ids {
@@ -1144,6 +1189,7 @@ impl VideoServer {
             slo.metrics.burn_long.set(slo.burn.burn_long());
             match transition {
                 Some(AlertTransition::Raised) => {
+                    slo_alert_raised = true;
                     slo.metrics.alerts.inc();
                     self.admission.set_over_admission_frozen(true);
                     if mzd_telemetry::events_enabled() {
@@ -1237,14 +1283,19 @@ impl VideoServer {
             }
         }
 
+        drop(phase_slo);
+
         // Graceful degradation: the ladder climbs on sustained fast-burn
         // alert, steps down on sustained quiet. Without an SLO layer the
         // burn signal is absent and the ladder stays at rung 0.
+        let phase_degrade = mzd_prof::phase("degrade");
+        let mut degrade_escalated = false;
         if self.degrade.is_some() {
             let alert = self.slo.as_ref().is_some_and(|s| s.burn.alert_active());
             let transition = self.degrade.as_mut().and_then(|d| d.observe(alert));
             match transition {
                 Some(DegradeTransition::Escalated(r)) => {
+                    degrade_escalated = true;
                     if r == RUNG_PAUSE_NEWEST {
                         self.shed_newest_streams();
                     }
@@ -1272,8 +1323,11 @@ impl VideoServer {
             }
         }
 
+        drop(phase_degrade);
+
         // Advance sessions; retire the finished. The incremental load
         // vector follows each stream's rotation to the next disk.
+        let phase_advance = mzd_prof::phase("advance");
         let mut completed_ids = Vec::new();
         let mut i = 0;
         while i < self.sessions.len() {
@@ -1315,8 +1369,11 @@ impl VideoServer {
             }
         }
 
+        drop(phase_advance);
+
         // Cache bookkeeping: metrics, and the measured-hit-ratio feed for
         // cache-aware admission.
+        let phase_cache = mzd_prof::phase("cache");
         if let Some(cache) = &self.cache {
             self.metrics.cache_hits.add(round_hits);
             self.metrics.cache_delayed_hits.add(round_delayed);
@@ -1357,6 +1414,8 @@ impl VideoServer {
             }
         }
 
+        drop(phase_cache);
+
         self.rounds_run += 1;
         // Capacity freed by completions goes to waiting requests (§1:
         // postponed admissions resume when streams terminate).
@@ -1382,7 +1441,96 @@ impl VideoServer {
                     .u64_list("admitted_from_queue", &report.admitted_from_queue),
             );
         }
+        if self.recorder.is_some() {
+            self.record_round(
+                &report,
+                rung,
+                slo_alert_raised,
+                degrade_escalated,
+                (round_hits, round_delayed, round_misses),
+            );
+        }
         report
+    }
+
+    /// Push this round's snapshot into the flight recorder and fire any
+    /// dump triggers it tripped. Snapshots carry only logical state
+    /// (round ids, counters, phase decompositions) so bundles from a
+    /// seeded run are byte-identical across reruns and `--jobs` widths.
+    fn record_round(
+        &mut self,
+        report: &RoundReport,
+        rung_at_entry: u8,
+        slo_alert_raised: bool,
+        degrade_escalated: bool,
+        cache_counts: (u64, u64, u64),
+    ) {
+        let disks: Vec<mzd_prof::DiskPhases> = report
+            .disks
+            .iter()
+            .map(|ds| mzd_prof::DiskPhases {
+                disk: ds.disk,
+                requests: ds.requests,
+                service_time: ds.service_time,
+                late: ds.late,
+                seek_time: ds.seek_time,
+                rotational_time: ds.rotational_time,
+                transfer_time: ds.transfer_time,
+                stall_time: ds.stall_time,
+                fault_time: ds.fault_time,
+            })
+            .collect();
+        let mut faults = mzd_prof::FaultTotals::default();
+        for sim in &self.disks {
+            let c = sim.fault_counters();
+            faults.media_errors += c.media_errors;
+            faults.retries += c.retries;
+            faults.stalls += c.stalls;
+            faults.remaps += c.remaps;
+            faults.failed_reads += c.failed_reads;
+            faults.unavailable_rounds += c.unavailable_rounds;
+        }
+        let (hits, delayed, misses) = cache_counts;
+        let snapshot = mzd_prof::RoundSnapshot {
+            round: report.round,
+            active_streams: self.sessions.len() as u64,
+            waiting_streams: self.waiting.len() as u64,
+            glitches: report.glitched_streams.len() as u64,
+            rung: self
+                .degrade
+                .as_ref()
+                .map_or(rung_at_entry, DegradeState::rung),
+            burn_fast: self.slo.as_ref().map_or(0.0, |s| s.burn.burn_fast()),
+            burn_slow: self.slo.as_ref().map_or(0.0, |s| s.burn.burn_slow()),
+            burn_long: self.slo.as_ref().map_or(0.0, |s| s.burn.burn_long()),
+            cache_hits: hits,
+            cache_delayed_hits: delayed,
+            cache_misses: misses,
+            cache_occupancy_bytes: self
+                .cache
+                .as_ref()
+                .map_or(0.0, FragmentCache::occupancy_bytes),
+            load: self.load.clone(),
+            rng_positions: self.disks.iter().map(RoundSimulator::rounds_run).collect(),
+            disks,
+            faults,
+        };
+        let recorder = self.recorder.as_ref().expect("checked by caller");
+        recorder.push(snapshot);
+        let any_late = report.disks.iter().any(|d| d.late);
+        // Priority order: the rarest, highest-signal trigger dumps first
+        // (the recorder deduplicates per kind and caps total dumps).
+        for (fired, trigger) in [
+            (slo_alert_raised, mzd_prof::DumpTrigger::SloFastBurn),
+            (degrade_escalated, mzd_prof::DumpTrigger::DegradeEscalation),
+            (any_late, mzd_prof::DumpTrigger::RoundOverrun),
+        ] {
+            if fired {
+                // Best-effort: a dump failure (e.g. unwritable directory)
+                // must not take the serving loop down.
+                let _ = recorder.trigger_dump(trigger);
+            }
+        }
     }
 
     /// Run `rounds` rounds, returning only the aggregate glitch count (for

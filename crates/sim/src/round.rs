@@ -54,8 +54,10 @@ impl RoundMetrics {
     }
 }
 
-/// `fault.*` metric handles. Created only when an injector is configured,
-/// so fault-free runs do not grow empty metric families.
+/// `fault.*` metric handles. Registered eagerly at simulator construction
+/// — even fault-free runs expose the full (zeroed) family, so clean and
+/// faulted runs present identical metric catalogs to scrapers and the
+/// Prometheus exposition.
 #[derive(Debug)]
 struct FaultMetrics {
     media_errors: mzd_telemetry::Counter,
@@ -289,7 +291,7 @@ pub struct RoundSimulator {
     /// Fault injector, when `cfg.faults` is set. Owns a private RNG
     /// stream so the simulator's own draws are untouched.
     injector: Option<FaultInjector>,
-    fault_metrics: Option<FaultMetrics>,
+    fault_metrics: FaultMetrics,
     /// Injector counters as of the last observed round, for per-round
     /// deltas.
     last_fault_counters: FaultCounters,
@@ -310,7 +312,6 @@ impl RoundSimulator {
             .faults
             .as_ref()
             .map(|fc| FaultInjector::new(fc, mzd_par::derive_seed(seed, FAULT_SEED_STREAM)));
-        let fault_metrics = injector.as_ref().map(|_| FaultMetrics::new());
         Ok(Self {
             cfg,
             rng: StdRng::seed_from_u64(seed),
@@ -321,7 +322,7 @@ impl RoundSimulator {
             rounds_run: 0,
             metrics: RoundMetrics::new(),
             injector,
-            fault_metrics,
+            fault_metrics: FaultMetrics::new(),
             last_fault_counters: FaultCounters::default(),
         })
     }
@@ -330,6 +331,24 @@ impl RoundSimulator {
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Rounds served so far — the logical position of this simulator's
+    /// RNG stream. Two simulators with the same seed and the same
+    /// `rounds_run` have consumed the same draws, so this is the stream
+    /// position flight-recorder snapshots carry (the vendored RNG
+    /// exposes no internal counter).
+    #[must_use]
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Cumulative fault-injector counters as of the last observed round.
+    /// All-zero when no injector is configured (or none has fired yet) —
+    /// callers get one shape for clean and faulted runs alike.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.last_fault_counters
     }
 
     /// Swap the placement policy mid-run — the drift-injection primitive:
@@ -584,9 +603,10 @@ impl RoundSimulator {
         m.seek_time.record(outcome.seek_time);
         m.rotational_time.record(outcome.rotational_time);
         m.transfer_time.record(outcome.transfer_time);
-        if let (Some(inj), Some(fm)) = (&self.injector, &self.fault_metrics) {
+        if let Some(inj) = &self.injector {
             let now = inj.counters();
-            fm.observe(&now.minus(&self.last_fault_counters));
+            self.fault_metrics
+                .observe(&now.minus(&self.last_fault_counters));
             self.last_fault_counters = now;
         }
         if mzd_telemetry::events_enabled() {

@@ -20,6 +20,9 @@
 //!   with pluggable sinks ([`event::NullSink`], [`event::StderrSink`],
 //!   [`event::JsonlSink`], [`event::MemorySink`]) for per-round records
 //!   and admission decisions.
+//! * [`prom::render`] — Prometheus text exposition of a whole
+//!   [`Registry`], including histogram buckets as cumulative
+//!   `_bucket{le="..."}` series (the `--prom-out` surface).
 //!
 //! # Global vs. scoped
 //!
@@ -47,6 +50,7 @@
 
 pub mod event;
 pub mod json;
+pub mod prom;
 mod registry;
 mod span;
 

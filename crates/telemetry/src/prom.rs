@@ -1,0 +1,187 @@
+//! Prometheus text exposition (version 0.0.4) for a [`Registry`].
+//!
+//! [`render`] emits the whole registry — counters, gauges, and
+//! histograms with cumulative `_bucket{le="..."}` series — in the
+//! plain-text format every Prometheus-compatible scraper and textfile
+//! collector understands. Metric names keep the workspace's dotted
+//! convention internally and are sanitized to `mzd_`-prefixed
+//! underscore form on the way out (`sim.round.service_time` →
+//! `mzd_sim_round_service_time`).
+//!
+//! The output is a pure function of the registry state: names are
+//! sorted, no timestamps are emitted, and float formatting uses Rust's
+//! shortest round-trip representation — so equal registries expose
+//! byte-identical text (the property the CLI's `--prom-out` snapshots
+//! rely on).
+
+use crate::registry::Registry;
+use std::fmt::Write as _;
+
+/// Sanitize a dotted metric name into the Prometheus exposition
+/// alphabet (`[a-zA-Z0-9_]`), with the workspace's `mzd_` prefix.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("mzd_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Format a sample value: finite floats use the shortest round-trip
+/// form, non-finite values use the exposition spellings.
+fn write_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Render `registry` in Prometheus text exposition format.
+///
+/// Histogram `_bucket` series are cumulative; bounds whose bucket is
+/// empty are elided (the cumulative value at any retained bound is
+/// exact), and the mandatory `le="+Inf"` bucket always closes the
+/// series at the total count.
+#[must_use]
+pub fn render(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::with_capacity(4096);
+    for (name, value) in &snapshot.counters {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = write!(out, "{n} ");
+        write_value(&mut out, *value);
+        out.push('\n');
+    }
+    for (name, histogram) in registry.histogram_entries() {
+        let n = sanitize_name(&name);
+        let count = histogram.count();
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut previous = 0u64;
+        for (bound, cumulative) in histogram.cumulative_buckets() {
+            if bound.is_finite() {
+                if cumulative == previous {
+                    continue; // empty bucket: cumulative value unchanged
+                }
+                previous = cumulative;
+                let _ = write!(out, "{n}_bucket{{le=\"");
+                write_value(&mut out, bound);
+                let _ = writeln!(out, "\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = write!(out, "{n}_sum ");
+        write_value(&mut out, histogram.sum());
+        out.push('\n');
+        let _ = writeln!(out, "{n}_count {count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal exposition-format validator: every non-comment line is
+    /// `name[{labels}] value`, names match the exposition alphabet.
+    fn validate(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad name: {name}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad value: {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let r = Registry::new();
+        r.counter("sim.rounds").add(7);
+        r.gauge("server.buffer.occupancy_bytes").set(1.5e6);
+        let h = r.histogram("sim.round.service_time");
+        for i in 1..=100 {
+            h.record(f64::from(i) * 0.01);
+        }
+        let text = render(&r);
+        validate(&text);
+        assert!(text.contains("# TYPE mzd_sim_rounds counter"));
+        assert!(text.contains("mzd_sim_rounds 7"));
+        assert!(text.contains("# TYPE mzd_server_buffer_occupancy_bytes gauge"));
+        assert!(text.contains("mzd_server_buffer_occupancy_bytes 1500000"));
+        assert!(text.contains("# TYPE mzd_sim_round_service_time histogram"));
+        assert!(text.contains("mzd_sim_round_service_time_bucket{le=\"+Inf\"} 100"));
+        assert!(text.contains("mzd_sim_round_service_time_count 100"));
+        assert!(text.contains("mzd_sim_round_service_time_sum 50.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_at_count() {
+        let r = Registry::new();
+        let h = r.histogram("t");
+        for v in [1e-4, 1e-4, 1e-2, 1.0, 1e9] {
+            h.record(v);
+        }
+        let text = render(&r);
+        validate(&text);
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("mzd_t_bucket{le=\"") {
+                bucket_lines += 1;
+                let count: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(count >= last, "buckets must be cumulative: {text}");
+                last = count;
+            }
+        }
+        // 4 distinct finite buckets (the 1e9 observation only appears in
+        // +Inf) — elision keeps empty buckets out.
+        assert_eq!(bucket_lines, 4, "{text}");
+        assert_eq!(last, 5);
+        assert!(text.contains("mzd_t_count 5"));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_bucket() {
+        let r = Registry::new();
+        let _ = r.histogram("empty.series");
+        let text = render(&r);
+        validate(&text);
+        assert!(text.contains("mzd_empty_series_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("mzd_empty_series_sum 0"));
+        assert!(text.contains("mzd_empty_series_count 0"));
+    }
+
+    #[test]
+    fn sanitizes_names_deterministically() {
+        assert_eq!(sanitize_name("a.b-c d"), "mzd_a_b_c_d");
+        let r = Registry::new();
+        r.counter("x.y").inc();
+        assert_eq!(render(&r), render(&r));
+    }
+}

@@ -234,6 +234,32 @@ impl Histogram {
         f64::from_bits(inner.max.load(Ordering::Relaxed))
     }
 
+    /// Cumulative bucket counts as `(upper_bound, count_le)` pairs, in
+    /// ascending bound order, ending with `(+∞, total count)` — the
+    /// exposition shape Prometheus histograms use. The underflow bucket
+    /// (values ≤ 1 ns) reports under the first regular bound.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let inner = &*self.0;
+        let mut out = Vec::with_capacity(BUCKET_COUNT + 1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in inner.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if i == 0 {
+                // Underflow merges into the first regular bound below.
+                continue;
+            }
+            let bound = if i > BUCKET_COUNT {
+                f64::INFINITY
+            } else {
+                // Upper edge of regular bucket `i`.
+                LOW * 10f64.powf(i as f64 / BUCKETS_PER_DECADE as f64)
+            };
+            out.push((bound, cumulative));
+        }
+        out
+    }
+
     /// An immutable copy of the current state.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -317,6 +343,22 @@ impl Registry {
     #[must_use]
     pub fn histogram(&self, name: &str) -> Histogram {
         get_or_insert(&self.histograms, name)
+    }
+
+    /// Handles to every registered histogram, sorted by name — for
+    /// exporters (e.g. Prometheus exposition) that need raw bucket
+    /// counts rather than the quantile summary a [`Snapshot`] carries.
+    #[must_use]
+    pub fn histogram_entries(&self) -> Vec<(String, Histogram)> {
+        let mut entries: Vec<(String, Histogram)> = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 
     /// A point-in-time copy of every metric.
@@ -539,6 +581,34 @@ mod tests {
                 "q = {q}: estimate {est} vs {expected}"
             );
         }
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_underflow_and_overflow() {
+        let h = Histogram::default();
+        for v in [0.0, 1e-12, 5e-4, 5e-4, 2.0, 1e9] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), BUCKET_COUNT + 1);
+        // Monotone, finite bounds ascending, closed by +Inf at count.
+        let mut last = 0;
+        for window in buckets.windows(2) {
+            assert!(window[0].0 < window[1].0 || window[1].0.is_infinite());
+        }
+        for &(_, c) in &buckets {
+            assert!(c >= last);
+            last = c;
+        }
+        assert_eq!(buckets.last().unwrap().0, f64::INFINITY);
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        // Underflow observations (0.0 and 1e-12) count under the first
+        // regular bound.
+        assert_eq!(buckets[0].1, 2);
+        // Every value lands at or below its reported bound.
+        let le = |v: f64| buckets.iter().find(|&&(b, _)| v <= b).unwrap().1;
+        assert!(le(5e-4) >= 4);
+        assert_eq!(le(2.0), 5);
     }
 
     #[test]
