@@ -811,6 +811,94 @@ pub fn faults(budget: Budget) {
     println!("  the analytic inflation buys back the guarantee the faults ate.");
 }
 
+/// B8: the sharded fleet at acceptance scale — 64 nodes x 8 disks with
+/// 8-second rounds (~200 streams per disk at the paper's quality
+/// target), ~100k admitted streams, a scripted node outage mid-run, and
+/// the composed cluster-wide guarantee. The whole run repeats at
+/// jobs = 8 and is asserted byte-identical to the jobs = 1 run.
+pub fn fleet(budget: Budget) {
+    use mzd_cluster::{Cluster, ClusterConfig, NodeOutage};
+    use mzd_workload::ObjectSpec;
+
+    let (nodes, disks) = if budget.quick {
+        (8u32, 2u32)
+    } else {
+        (64u32, 8u32)
+    };
+    let rounds = if budget.quick { 16u64 } else { 40 };
+    println!("B8: sharded fleet — {nodes} nodes x {disks} disks, composed stochastic guarantee\n");
+    let run = || {
+        let mut cfg = ClusterConfig::paper_reference(nodes, disks).expect("valid fleet config");
+        cfg.node.round_length = 8.0; // longer rounds: ~200 streams per disk
+        cfg.lease_rounds = 3;
+        cfg.outages.push(NodeOutage {
+            node: nodes - 1,
+            start: 6,
+            rounds: 10,
+        });
+        let mut fleet = Cluster::new(cfg, 97).expect("valid fleet");
+        let object =
+            ObjectSpec::new("fleet", SizeDistribution::paper_default(), 1_200).expect("valid");
+        for _ in 0..fleet.guarantee().fleet_capacity {
+            fleet.submit(object.clone()).expect("submit");
+        }
+        let mut reports = Vec::new();
+        for _ in 0..rounds {
+            reports.push(fleet.run_round());
+        }
+        (fleet.guarantee().clone(), fleet.status(), reports)
+    };
+    mzd_par::set_jobs(1);
+    let (g, status, reports) = run();
+    mzd_par::set_jobs(8);
+    let replay = run();
+    mzd_par::set_jobs(0);
+    let identical = replay.0 == g && replay.1 == status && replay.2 == reports;
+
+    let stream_rounds = status.active_streams as u64 * rounds;
+    // Outage charges are priced by the deterministic lease debit, not by
+    // the stochastic per-round bound — compare like with like.
+    let glitch_rate =
+        (status.total_glitches - status.outage_glitches) as f64 / stream_rounds.max(1) as f64;
+    println!(
+        "  per-disk admission cap n* = {} (single-node cap {})",
+        g.n_star, g.n_max_single
+    );
+    println!(
+        "  fleet capacity {} streams across {} serving nodes (+{} spare), {} admitted",
+        g.fleet_capacity,
+        status.nodes - g.spares,
+        g.spares,
+        status.active_streams
+    );
+    println!(
+        "  composed guarantee: p_error/stream <= {:.3e}, any-of-fleet <= {:.3e}",
+        g.p_error_stream, g.p_error_any
+    );
+    println!(
+        "  lease debit: {} outage rounds charged, glitch budget g = {} -> {}",
+        g.outage_rounds, g.g, g.g_effective
+    );
+    println!(
+        "  {rounds} rounds served; observed host glitch rate {glitch_rate:.6} per \
+         stream-round (bound {:.6})",
+        g.p_glitch_round
+    );
+    println!(
+        "  node outage: {} streams migrated, {} outage glitches charged",
+        status.migrations, status.outage_glitches
+    );
+    assert!(identical, "jobs = 8 replay diverged from the jobs = 1 run");
+    println!(
+        "\n  determinism: jobs = 8 replay byte-identical to jobs = 1 ({} reports)",
+        rounds
+    );
+    println!("  reading: the composed bound survives sharding — the per-disk cap drops by");
+    println!("  a few streams to pay for the lease window, every admitted stream keeps a");
+    println!("  p_error within the paper's 1% target, and the any-of-fleet union bound");
+    println!("  prices what a guarantee over ~100k streams honestly costs.");
+}
+
 /// Run everything in DESIGN.md order.
 pub fn all(budget: Budget) {
     let line = "=".repeat(72);
@@ -835,6 +923,7 @@ pub fn all(budget: Budget) {
         cache,
         drift,
         faults,
+        fleet,
     ]
     .iter()
     .enumerate()
@@ -1031,6 +1120,30 @@ fn measure_entries(budget: Budget) -> (Vec<BenchEntry>, Vec<BenchEntry>) {
                 }));
             }),
         });
+    }
+    {
+        // One full fleet round — dispatch pulls, node steps, report
+        // folding — on a 4-node fleet held at capacity with effectively
+        // endless objects, so every iteration does the same work.
+        // jobs = 1 only: the multi-worker timing of `run_round` measures
+        // the scheduler on starved CI hosts, not the code.
+        let cfg = mzd_cluster::ClusterConfig::paper_reference(4, 1).expect("valid fleet config");
+        let mut fleet = mzd_cluster::Cluster::new(cfg, 11).expect("valid fleet");
+        let object =
+            mzd_workload::ObjectSpec::new("bench", SizeDistribution::paper_default(), 1_000_000)
+                .expect("valid object");
+        for _ in 0..fleet.guarantee().fleet_capacity {
+            fleet.submit(object.clone()).expect("submit");
+        }
+        mzd_par::set_jobs(1); // run_round parallelizes node steps internally
+        sim.push(BenchEntry {
+            name: "cluster_dispatch_round_4n",
+            jobs: 1,
+            ns_per_op: median_ns_per_op(if budget.quick { 200 } else { 2000 }, || {
+                black_box(fleet.run_round());
+            }),
+        });
+        mzd_par::set_jobs(0);
     }
     (core, sim)
 }

@@ -77,6 +77,15 @@ commands:
   serve      round-based server on a Zipf catalog
              (flags: --disks D --streams N --rounds R --seed S
               --objects K --object-rounds M --zipf SKEW
+              --nodes N           [N > 1 serves a sharded fleet: N nodes
+                                   of --disks disks each, consistent-hash
+                                   placement, per-node lease timeouts,
+                                   and the guarantee composed fleet-wide;
+                                   a zonefail --fault-profile becomes a
+                                   whole-node outage of node zone%N]
+              --lease-rounds L    [rounds of silence before a node is
+                                   declared failed and its streams
+                                   migrate; default 3]
               --cache-bytes B --cache-policy lru|interval|cost
               --cache-safety S    [enables cache-aware admission]
               --slo               [burn-rate + model-conformance monitor]

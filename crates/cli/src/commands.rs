@@ -256,22 +256,12 @@ fn simulate(parsed: &Parsed) -> Result<String, CliError> {
 }
 
 #[allow(clippy::too_many_lines)]
-fn serve(parsed: &Parsed) -> Result<String, CliError> {
-    use rand::{rngs::StdRng, SeedableRng};
-
-    let disks = u32::try_from(parsed.u64_or("disks", 1)?)
-        .map_err(|_| CliError::Usage("--disks is too large".into()))?;
-    let streams = parsed.u64_or("streams", 28)?;
-    let rounds = parsed.u64_or("rounds", 1200)?;
-    let seed = parsed.u64_or("seed", 42)?;
-    let objects = usize::try_from(parsed.u64_or("objects", 16)?)
-        .map_err(|_| CliError::Usage("--objects is too large".into()))?;
-    let object_rounds = u32::try_from(parsed.u64_or("object-rounds", 600)?)
-        .map_err(|_| CliError::Usage("--object-rounds is too large".into()))?;
-    let skew = parsed.f64_or("zipf", 0.0)?;
+/// Build the per-server configuration the `serve` flags describe —
+/// shared by the single-node path and (as the per-node template) the
+/// `--nodes N` fleet path.
+fn serve_server_config(parsed: &Parsed, disks: u32) -> Result<mzd_server::ServerConfig, CliError> {
     let mean = parsed.f64_or("mean", 200_000.0)?;
     let sd = parsed.f64_or("sd", 100_000.0)?;
-
     let mut cfg = mzd_server::ServerConfig::paper_reference(disks)
         .map_err(|e| CliError::Execution(e.to_string()))?;
     cfg.disk = disk_of(parsed)?;
@@ -299,10 +289,58 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
     }
     cfg.work_ahead = u32::try_from(parsed.u64_or("work-ahead", 0)?)
         .map_err(|_| CliError::Usage("--work-ahead is too large".into()))?;
-    let degrade_enabled = parsed.flag("degrade");
-    if degrade_enabled {
+    if parsed.flag("degrade") {
         cfg.degrade = Some(mzd_server::DegradeSettings::default());
     }
+    Ok(cfg)
+}
+
+/// Build the Zipf object catalog the `serve` flags describe.
+fn serve_catalog(parsed: &Parsed) -> Result<(Vec<ObjectSpec>, Zipf), CliError> {
+    let objects = usize::try_from(parsed.u64_or("objects", 16)?)
+        .map_err(|_| CliError::Usage("--objects is too large".into()))?;
+    let object_rounds = u32::try_from(parsed.u64_or("object-rounds", 600)?)
+        .map_err(|_| CliError::Usage("--object-rounds is too large".into()))?;
+    let skew = parsed.f64_or("zipf", 0.0)?;
+    let mean = parsed.f64_or("mean", 200_000.0)?;
+    let sd = parsed.f64_or("sd", 100_000.0)?;
+    let sizes =
+        SizeDistribution::gamma(mean, sd * sd).map_err(|e| CliError::Execution(e.to_string()))?;
+    let catalog: Vec<ObjectSpec> = (0..objects)
+        .map(|i| {
+            ObjectSpec::new(format!("obj-{i}"), sizes.clone(), object_rounds)
+                .map(|o| o.with_content_id(i as u64 + 1))
+                .map_err(|e| CliError::Execution(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    let zipf =
+        Zipf::new(catalog.len(), skew).map_err(|e| CliError::Usage(format!("--zipf: {e}")))?;
+    Ok((catalog, zipf))
+}
+
+fn serve(parsed: &Parsed) -> Result<String, CliError> {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let disks = u32::try_from(parsed.u64_or("disks", 1)?)
+        .map_err(|_| CliError::Usage("--disks is too large".into()))?;
+    let nodes = u32::try_from(parsed.u64_or("nodes", 1)?)
+        .map_err(|_| CliError::Usage("--nodes is too large".into()))?;
+    if nodes > 1 {
+        return serve_cluster(parsed, nodes, disks);
+    }
+    let streams = parsed.u64_or("streams", 28)?;
+    let rounds = parsed.u64_or("rounds", 1200)?;
+    let seed = parsed.u64_or("seed", 42)?;
+    let objects = usize::try_from(parsed.u64_or("objects", 16)?)
+        .map_err(|_| CliError::Usage("--objects is too large".into()))?;
+    let object_rounds = u32::try_from(parsed.u64_or("object-rounds", 600)?)
+        .map_err(|_| CliError::Usage("--object-rounds is too large".into()))?;
+    let skew = parsed.f64_or("zipf", 0.0)?;
+    let mean = parsed.f64_or("mean", 200_000.0)?;
+    let sd = parsed.f64_or("sd", 100_000.0)?;
+
+    let cfg = serve_server_config(parsed, disks)?;
+    let degrade_enabled = parsed.flag("degrade");
 
     let sizes =
         SizeDistribution::gamma(mean, sd * sd).map_err(|e| CliError::Execution(e.to_string()))?;
@@ -535,6 +573,139 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
             );
         }
     }
+    Ok(out)
+}
+
+/// `mzd serve --nodes N`: the sharded fleet. One dispatcher, N nodes of
+/// `--disks` disks, consistent-hash placement, lease-timeout failure
+/// detection, and the paper guarantee composed fleet-wide.
+fn serve_cluster(parsed: &Parsed, nodes: u32, disks: u32) -> Result<String, CliError> {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let rounds = parsed.u64_or("rounds", 1200)?;
+    let seed = parsed.u64_or("seed", 42)?;
+    let lease_rounds = u32::try_from(parsed.u64_or("lease-rounds", 3)?)
+        .map_err(|_| CliError::Usage("--lease-rounds is too large".into()))?;
+    let mut cfg = mzd_cluster::ClusterConfig::paper_reference(nodes, disks)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    cfg.node = serve_server_config(parsed, disks)?;
+    cfg.lease_rounds = lease_rounds;
+    let mut fleet =
+        mzd_cluster::Cluster::new(cfg, seed).map_err(|e| CliError::Execution(e.to_string()))?;
+    let guarantee = fleet.guarantee().clone();
+    // Default offered load: the composed fleet capacity — the largest
+    // population the guarantee covers.
+    let streams = parsed.u64_or("streams", guarantee.fleet_capacity)?;
+
+    let (catalog, zipf) = serve_catalog(parsed)?;
+    let mut arrivals = StdRng::seed_from_u64(seed ^ 0x5EED_CA7A_0A11_0C8D);
+    let mut rejected = 0u64;
+    let submit = |fleet: &mut mzd_cluster::Cluster, arrivals: &mut StdRng| {
+        let object = catalog[zipf.sample(arrivals)].clone();
+        match fleet.submit(object) {
+            Ok(mzd_cluster::SubmitOutcome::Rejected { .. }) => 1u64,
+            _ => 0,
+        }
+    };
+    for _ in 0..streams {
+        rejected += submit(&mut fleet, &mut arrivals);
+    }
+
+    let mut host_glitches = 0u64;
+    let mut stream_rounds = 0u64;
+    let mut failures: Vec<u64> = Vec::new();
+    let mut migrated = 0u64;
+    let mut late_disks = 0u64;
+    for _ in 0..rounds {
+        stream_rounds += fleet.active_streams() as u64;
+        let report = fleet.run_round();
+        host_glitches += report.glitched_streams;
+        migrated += report.migrations.len() as u64;
+        late_disks += u64::from(report.late_disks);
+        if !report.failed_nodes.is_empty() {
+            failures.push(report.round);
+        }
+        // Constant offered load: every completion re-draws a request.
+        for _ in &report.completed {
+            rejected += submit(&mut fleet, &mut arrivals);
+        }
+        if let Some(path) = parsed.str_opt("prom-out") {
+            let text = mzd_telemetry::prom::render(mzd_telemetry::global());
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+        }
+    }
+
+    let status = fleet.status();
+    let over_budget = fleet
+        .completed()
+        .iter()
+        .filter(|c| c.glitches >= guarantee.g)
+        .count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {rounds} rounds on a {nodes}-node fleet ({disks} disk(s)/node, seed {seed}):"
+    );
+    let _ = writeln!(
+        out,
+        "  guarantee: n* = {}/disk (single-node cap {}), lease {} rounds \
+         debits {} of g = {} glitches",
+        guarantee.n_star,
+        guarantee.n_max_single,
+        lease_rounds,
+        guarantee.outage_rounds,
+        guarantee.g,
+    );
+    let _ = writeln!(
+        out,
+        "  guarantee: p_error/stream <= {:.3e}, p_error any-of-{} <= {:.3e} (budget {})",
+        guarantee.p_error_stream,
+        guarantee.fleet_capacity,
+        guarantee.p_error_any,
+        guarantee.epsilon
+    );
+    let _ = writeln!(
+        out,
+        "  fleet: capacity {} streams ({} spare node(s)); {} live node(s) at exit",
+        guarantee.fleet_capacity, guarantee.spares, status.live_nodes
+    );
+    let _ = writeln!(
+        out,
+        "  streams: {} active, {} waiting, {} completed play-out, {} rejected at capacity",
+        status.active_streams, status.waiting, status.completed, rejected
+    );
+    let glitch_rate = if stream_rounds == 0 {
+        0.0
+    } else {
+        status.total_glitches as f64 / stream_rounds as f64
+    };
+    let _ = writeln!(
+        out,
+        "  glitches: {} host + {} outage in {} stream-rounds (rate {:.5}); {} late disk-rounds",
+        host_glitches, status.outage_glitches, stream_rounds, glitch_rate, late_disks
+    );
+    let _ = writeln!(
+        out,
+        "  failures: {} node failure(s){}{}; {} stream(s) migrated",
+        failures.len(),
+        if failures.is_empty() {
+            String::new()
+        } else {
+            format!(" at round(s) {failures:?}")
+        },
+        if fleet.config().outages.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} scripted outage(s))", fleet.config().outages.len())
+        },
+        migrated
+    );
+    let _ = writeln!(
+        out,
+        "  observed: {over_budget} of {} completed stream(s) exceeded the g = {} glitch budget",
+        status.completed, guarantee.g
+    );
     Ok(out)
 }
 

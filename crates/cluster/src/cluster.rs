@@ -1,0 +1,889 @@
+//! The fleet: configuration, round loop, failure handling, and the
+//! composed guarantee, in one place.
+//!
+//! [`Cluster`] owns `nodes` [`ServerNode`]s, the [`Placement`] ring,
+//! the [`Dispatcher`] queues, and the [`LeaseTable`]. Each
+//! [`Cluster::run_round`] advances the whole fleet one round:
+//!
+//! 1. **revive** nodes whose scripted outage ended (fresh lease);
+//! 2. **dispatch** — every live node pulls from the front of its queue
+//!    while the *cluster's* composed admission cap (`n*` per disk, an
+//!    [`mzd_server::AdmissionController`] at the fleet layer) says yes;
+//!    the node's own controller stays as backstop;
+//! 3. **step** every operational node one round, in parallel via
+//!    `mzd_par::par_map_owned` — each node owns its RNG and reports
+//!    join in node order, so results are byte-identical at any
+//!    `--jobs`;
+//! 4. **charge** outage glitches: streams hosted on a silent node, and
+//!    migrated streams waiting in queues, receive nothing this round;
+//! 5. **expire** leases; each newly failed node's streams are
+//!    evacuated and deterministically requeued onto the survivors —
+//!    keeping their original sequence numbers, so they re-enter
+//!    *ahead of* newer arrivals — and marked degradable so the
+//!    adopters' degradation ladders absorb the surge.
+//!
+//! Node failure is driven by `mzd-fault`'s chaos scenarios: a
+//! [`ChaosScenario::ZoneFailure`] on the node config is lifted to
+//! fleet scope as a [`NodeOutage`] of node `zone % nodes` (the fleet
+//! analogue of a correlated zone loss), while `Burst`/`Ramp`
+//! scenarios stay on the disks where they belong.
+
+use std::collections::BTreeMap;
+
+use mzd_fault::ChaosScenario;
+use mzd_server::{AdmissionController, AdmissionDecision, ServerConfig};
+use mzd_workload::ObjectSpec;
+
+use crate::dispatcher::{Dispatcher, LeaseTable, NodeView, Pending};
+use crate::guarantee::ClusterGuarantee;
+use crate::metrics::ClusterMetrics;
+use crate::node::{Node, ServerNode};
+use crate::placement::Placement;
+use crate::ClusterError;
+
+/// Default lease timeout, in rounds: long enough that one slow round
+/// never triggers a spurious migration, short enough that the outage
+/// charge `ℓ/m` stays a small fraction of the paper-default glitch
+/// budget (`(3 + 2)/1200` against `g/m = 12/1200`).
+pub const DEFAULT_LEASE_ROUNDS: u32 = 3;
+
+/// A scripted whole-node outage: the node goes silent (does not step,
+/// pull, or renew its lease) during `[start, start + rounds)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeOutage {
+    /// The afflicted node.
+    pub node: u32,
+    /// First silent round (0-based).
+    pub start: u64,
+    /// Outage length in rounds.
+    pub rounds: u64,
+}
+
+impl NodeOutage {
+    /// Whether the node is silent during `round`.
+    #[must_use]
+    pub fn covers(&self, round: u64) -> bool {
+        round >= self.start && round < self.start.saturating_add(self.rounds)
+    }
+}
+
+/// Fleet configuration: the per-node server template plus the fleet
+/// shape and failure-detection parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Fleet size.
+    pub nodes: u32,
+    /// Per-node server configuration, cloned for every member. A
+    /// `ZoneFailure` chaos scenario on its fault config is lifted to a
+    /// fleet-scope [`NodeOutage`] at construction.
+    pub node: ServerConfig,
+    /// Lease timeout in rounds: a node silent this long is declared
+    /// failed and its streams migrate.
+    pub lease_rounds: u32,
+    /// Scripted node outages (merged with any lifted `ZoneFailure`).
+    pub outages: Vec<NodeOutage>,
+}
+
+impl ClusterConfig {
+    /// The paper's reference fleet: `nodes` members of `disks_per_node`
+    /// Quantum Viking 2.1 spindles each, 1-second rounds, the
+    /// per-stream glitch-rate target, and the default lease.
+    ///
+    /// # Errors
+    /// [`ClusterError::Invalid`] for a zero-sized fleet or node.
+    pub fn paper_reference(nodes: u32, disks_per_node: u32) -> Result<Self, ClusterError> {
+        if nodes == 0 {
+            return Err(ClusterError::Invalid(
+                "a cluster needs at least one node".into(),
+            ));
+        }
+        Ok(Self {
+            nodes,
+            node: ServerConfig::paper_reference(disks_per_node)?,
+            lease_rounds: DEFAULT_LEASE_ROUNDS,
+            outages: Vec::new(),
+        })
+    }
+
+    fn validate(&self) -> Result<(), ClusterError> {
+        if self.nodes == 0 {
+            return Err(ClusterError::Invalid(
+                "a cluster needs at least one node".into(),
+            ));
+        }
+        if self.lease_rounds == 0 {
+            return Err(ClusterError::Invalid(
+                "lease timeout must be at least one round".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What `submit` did with a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Accepted and parked; `node` is the queue it landed in (`None`
+    /// while every node is unavailable — it is held and re-routed).
+    Queued {
+        /// The stream's cluster-wide sequence number.
+        seq: u64,
+        /// The node whose queue holds it.
+        node: Option<u32>,
+    },
+    /// Refused: the fleet is at its composed capacity. Admitting more
+    /// would void the guarantee, so the dispatcher never queues beyond
+    /// it.
+    Rejected {
+        /// The composed fleet capacity that was hit.
+        fleet_capacity: u64,
+    },
+}
+
+/// One stream that finished play-out, with its full fleet history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterCompletedStream {
+    /// Cluster-wide sequence number.
+    pub seq: u64,
+    /// Glitch rounds over the stream's life: host glitches plus outage
+    /// and queue-wait charges.
+    pub glitches: u64,
+    /// How many times the stream migrated between nodes.
+    pub migrations: u32,
+    /// Play-out length in rounds (the object's `M`).
+    pub rounds: u32,
+}
+
+/// One stream moved off a failed node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Cluster-wide sequence number.
+    pub seq: u64,
+    /// The failed node it left.
+    pub from: u32,
+    /// The queue it was re-routed to.
+    pub to: u32,
+    /// Rounds of play-out it still had left.
+    pub remaining_rounds: u32,
+}
+
+/// What one fleet round produced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterRoundReport {
+    /// The round index this report covers (0-based).
+    pub round: u64,
+    /// Streams admitted from queues this round.
+    pub admitted: u64,
+    /// Streams that finished play-out this round.
+    pub completed: Vec<ClusterCompletedStream>,
+    /// Host glitch events this round (late disks, failed reads).
+    pub glitched_streams: u64,
+    /// Outage charges this round (silent hosts, migrated queue wait).
+    pub outage_glitches: u64,
+    /// Nodes declared failed this round (lease expired).
+    pub failed_nodes: Vec<u32>,
+    /// Nodes revived this round (outage ended).
+    pub revived_nodes: Vec<u32>,
+    /// Streams migrated this round.
+    pub migrations: Vec<MigrationRecord>,
+    /// Disks fleet-wide that overran the round.
+    pub late_disks: u32,
+}
+
+/// A point-in-time fleet summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatus {
+    /// Rounds run so far.
+    pub round: u64,
+    /// Configured fleet size.
+    pub nodes: u32,
+    /// Nodes holding a live lease.
+    pub live_nodes: u32,
+    /// Streams hosted right now.
+    pub active_streams: usize,
+    /// Requests parked in queues (plus any held unrouted).
+    pub waiting: usize,
+    /// Streams that finished play-out.
+    pub completed: usize,
+    /// Glitch events so far (host plus outage).
+    pub total_glitches: u64,
+    /// The outage-charge subset.
+    pub outage_glitches: u64,
+    /// Stream migrations so far.
+    pub migrations: u64,
+}
+
+/// Life-of-stream bookkeeping that survives migrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StreamMeta {
+    glitches: u64,
+    migrations: u32,
+    rounds_total: u32,
+}
+
+/// A sharded fleet of video-server nodes behind one dispatcher, with
+/// the paper's guarantee composed fleet-wide. See the crate docs for
+/// the layer map and [`ClusterGuarantee`] for the math.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    guarantee: ClusterGuarantee,
+    admission: AdmissionController,
+    placement: Placement,
+    dispatcher: Dispatcher,
+    lease: LeaseTable,
+    nodes: Vec<ServerNode>,
+    /// seq → (node, node-local stream id) for hosted streams.
+    hosted: BTreeMap<u64, (u32, u64)>,
+    /// (node, node-local id) → seq — the inverse, for report mapping.
+    by_host: BTreeMap<(u32, u64), u64>,
+    /// seq → life-of-stream counters for every in-flight stream.
+    meta: BTreeMap<u64, StreamMeta>,
+    /// Requests held while no node was available to queue on.
+    unrouted: Vec<Pending>,
+    completed: Vec<ClusterCompletedStream>,
+    next_seq: u64,
+    round: u64,
+    total_glitches: u64,
+    outage_glitches: u64,
+    migrations_total: u64,
+    metrics: ClusterMetrics,
+}
+
+impl Cluster {
+    /// Bring up the fleet: compose the guarantee, build the ring and
+    /// queues, and seed node `i` with `derive_seed(seed, i)` so every
+    /// node owns an independent, reproducible RNG stream.
+    ///
+    /// # Errors
+    /// [`ClusterError::Invalid`] for a degenerate shape, a non-glitch-
+    /// rate target, or a lease so long the composed bound is
+    /// infeasible.
+    pub fn new(mut cfg: ClusterConfig, seed: u64) -> Result<Self, ClusterError> {
+        cfg.validate()?;
+        // Lift a correlated zone failure to fleet scope: the analogous
+        // event at cluster scale is a whole member going dark.
+        if let Some(fc) = cfg.node.faults.as_mut() {
+            if let ChaosScenario::ZoneFailure {
+                zone,
+                start,
+                rounds,
+                ..
+            } = fc.profile.scenario
+            {
+                cfg.outages.push(NodeOutage {
+                    node: zone % cfg.nodes,
+                    start,
+                    rounds,
+                });
+                fc.profile = fc.profile.without_scenario();
+            }
+        }
+        let model = cfg.node.model()?;
+        let guarantee = ClusterGuarantee::compose(
+            &model,
+            cfg.node.round_length,
+            cfg.node.target,
+            cfg.nodes,
+            cfg.node.disks,
+            cfg.lease_rounds,
+        )?;
+        let admission = AdmissionController::with_limit(
+            guarantee.n_star,
+            cfg.node.round_length,
+            cfg.node.target,
+        );
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                ServerNode::new(
+                    i,
+                    cfg.node.clone(),
+                    mzd_par::derive_seed(seed, u64::from(i)),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let placement = Placement::new(cfg.nodes)?;
+        let dispatcher = Dispatcher::new(cfg.nodes);
+        let lease = LeaseTable::new(cfg.nodes, cfg.lease_rounds);
+        let metrics = ClusterMetrics::new();
+        metrics.nodes.set(f64::from(cfg.nodes));
+        metrics.nodes_available.set(f64::from(cfg.nodes));
+        metrics.p_error_bound.set(guarantee.p_error_stream);
+        Ok(Self {
+            cfg,
+            guarantee,
+            admission,
+            placement,
+            dispatcher,
+            lease,
+            nodes,
+            hosted: BTreeMap::new(),
+            by_host: BTreeMap::new(),
+            meta: BTreeMap::new(),
+            unrouted: Vec::new(),
+            completed: Vec::new(),
+            next_seq: 0,
+            round: 0,
+            total_glitches: 0,
+            outage_glitches: 0,
+            migrations_total: 0,
+            metrics,
+        })
+    }
+
+    /// The composed fleet guarantee this cluster enforces.
+    #[must_use]
+    pub fn guarantee(&self) -> &ClusterGuarantee {
+        &self.guarantee
+    }
+
+    /// The configuration the fleet runs (outages include any lifted
+    /// `ZoneFailure`).
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Streams hosted fleet-wide right now.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.hosted.len()
+    }
+
+    /// Requests waiting in queues (plus any held unrouted).
+    #[must_use]
+    pub fn waiting(&self) -> usize {
+        self.dispatcher.queued_total() + self.unrouted.len()
+    }
+
+    /// Rounds run so far.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Every stream that finished play-out, in completion order.
+    #[must_use]
+    pub fn completed(&self) -> &[ClusterCompletedStream] {
+        &self.completed
+    }
+
+    /// Node `i`, for inspection.
+    #[must_use]
+    pub fn node(&self, i: u32) -> &ServerNode {
+        &self.nodes[i as usize]
+    }
+
+    /// A point-in-time fleet summary.
+    #[must_use]
+    pub fn status(&self) -> ClusterStatus {
+        ClusterStatus {
+            round: self.round,
+            nodes: self.cfg.nodes,
+            live_nodes: self.lease.live_count(),
+            active_streams: self.hosted.len(),
+            waiting: self.waiting(),
+            completed: self.completed.len(),
+            total_glitches: self.total_glitches,
+            outage_glitches: self.outage_glitches,
+            migrations: self.migrations_total,
+        }
+    }
+
+    /// Submit a play-out request. Accepted requests are parked in the
+    /// queue placement chose and admitted when their node pulls them;
+    /// requests beyond the composed fleet capacity are rejected so the
+    /// guarantee is never diluted.
+    ///
+    /// # Errors
+    /// Currently infallible (the `Result` reserves room for workload
+    /// validation); rejection is the `Ok(`[`SubmitOutcome::Rejected`]`)`
+    /// case, not an error.
+    pub fn submit(&mut self, object: ObjectSpec) -> Result<SubmitOutcome, ClusterError> {
+        let committed =
+            (self.hosted.len() + self.dispatcher.queued_total() + self.unrouted.len()) as u64;
+        if committed >= self.guarantee.fleet_capacity {
+            self.metrics.rejected.inc();
+            return Ok(SubmitOutcome::Rejected {
+                fleet_capacity: self.guarantee.fleet_capacity,
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.meta.insert(
+            seq,
+            StreamMeta {
+                glitches: 0,
+                migrations: 0,
+                rounds_total: object.rounds,
+            },
+        );
+        self.metrics.submitted.inc();
+        let pending = Pending {
+            seq,
+            object,
+            carried_glitches: 0,
+            migrated: false,
+        };
+        let views = self.views();
+        match self.dispatcher.route(pending, &views, &self.placement) {
+            Ok(node) => Ok(SubmitOutcome::Queued {
+                seq,
+                node: Some(node),
+            }),
+            Err(p) => {
+                self.unrouted.push(p);
+                Ok(SubmitOutcome::Queued { seq, node: None })
+            }
+        }
+    }
+
+    /// Whether node `i` is *operational* (not inside a scripted outage)
+    /// during `round`. Liveness as the cluster believes it is the
+    /// lease table's business; this is ground truth.
+    fn is_operational(&self, i: u32, round: u64) -> bool {
+        !self
+            .cfg
+            .outages
+            .iter()
+            .any(|o| o.node == i && o.covers(round))
+    }
+
+    /// Routing snapshot: availability is the *lease* view (the cluster
+    /// routes on belief — a silent node keeps collecting queue entries
+    /// until its lease expires, exactly the window the guarantee's
+    /// outage charge pays for).
+    fn views(&self) -> Vec<NodeView> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let id = n.id();
+                let active = n.active_streams() as u32;
+                let queued = self.dispatcher.queue_len(id) as u32;
+                NodeView {
+                    node: id,
+                    available: self.lease.is_live(id),
+                    headroom: self
+                        .guarantee
+                        .node_capacity
+                        .saturating_sub(active)
+                        .saturating_sub(queued),
+                    min_disk_load: n.per_disk_load().iter().copied().min().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Finish bookkeeping for a stream that completed play-out.
+    fn finish_stream(&mut self, seq: u64) -> ClusterCompletedStream {
+        let meta = self.meta.remove(&seq).expect("completed stream has meta");
+        let record = ClusterCompletedStream {
+            seq,
+            glitches: meta.glitches,
+            migrations: meta.migrations,
+            rounds: meta.rounds_total,
+        };
+        self.completed.push(record.clone());
+        record
+    }
+
+    /// Advance the whole fleet one round. See the module docs for the
+    /// phase order; every phase iterates nodes and streams in index
+    /// order, so the loop is deterministic for any worker count.
+    pub fn run_round(&mut self) -> ClusterRoundReport {
+        let round = self.round;
+        let n = self.cfg.nodes;
+        let operational: Vec<bool> = (0..n).map(|i| self.is_operational(i, round)).collect();
+        let mut report = ClusterRoundReport {
+            round,
+            ..ClusterRoundReport::default()
+        };
+
+        // 1. Revive members whose outage ended: fresh lease, empty
+        // node, ready to pull again.
+        for i in 0..n {
+            if operational[i as usize] && !self.lease.is_live(i) {
+                self.lease.revive(i, round);
+                report.revived_nodes.push(i);
+            }
+        }
+
+        // 2. Re-route requests held while the whole fleet was dark.
+        for pending in std::mem::take(&mut self.unrouted) {
+            let views = self.views();
+            if let Err(p) = self.dispatcher.route(pending, &views, &self.placement) {
+                self.unrouted.push(p);
+            }
+        }
+
+        // 3. Dispatch: live, operational nodes pull from their queue
+        // front while the composed cap admits. The pull order (node
+        // index) is fixed, so admission is deterministic.
+        for i in 0..n {
+            if !operational[i as usize] || !self.lease.is_live(i) {
+                continue;
+            }
+            while self.dispatcher.peek(i).is_some() {
+                let node = &mut self.nodes[i as usize];
+                if !matches!(
+                    self.admission.decide(&node.per_disk_load()),
+                    AdmissionDecision::Admit
+                ) {
+                    break;
+                }
+                let pending = self.dispatcher.pull(i).expect("peeked entry");
+                match node.try_open(pending.object.clone()) {
+                    Some(local_id) => {
+                        if pending.migrated {
+                            // Riding the degradation ladder: the
+                            // adopter may serve this stream a reduced
+                            // rendition instead of glitching everyone.
+                            node.mark_degradable(local_id);
+                        }
+                        self.hosted.insert(pending.seq, (i, local_id));
+                        self.by_host.insert((i, local_id), pending.seq);
+                        let meta = self.meta.get_mut(&pending.seq).expect("queued stream meta");
+                        meta.glitches = meta.glitches.max(pending.carried_glitches);
+                        report.admitted += 1;
+                        self.metrics.admitted.inc();
+                    }
+                    None => {
+                        // Node backstop refused (should not out-admit
+                        // the composed cap, but the node has the last
+                        // word): put it back at the queue front.
+                        self.dispatcher.enqueue(i, pending);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 4. Step every operational node, in parallel. Nodes are moved
+        // into the worker pool and rejoin in node order; each owns its
+        // RNG, so the fleet round is byte-identical at any job count.
+        let stepped = mzd_par::par_map_owned(std::mem::take(&mut self.nodes), |mut node| {
+            let r = if operational[node.id() as usize] {
+                Some(node.step_round())
+            } else {
+                None
+            };
+            (node, r)
+        });
+        let mut reports = Vec::with_capacity(stepped.len());
+        self.nodes = Vec::with_capacity(stepped.len());
+        for (node, r) in stepped {
+            reports.push(r);
+            self.nodes.push(node);
+        }
+
+        // 5. Fold node reports in node order: lease renewals, glitch
+        // attribution, completions.
+        for (i, node_report) in reports.into_iter().enumerate() {
+            let i = i as u32;
+            let Some(node_report) = node_report else {
+                continue;
+            };
+            self.lease.renew(i, round);
+            self.metrics.lease_renewals.inc();
+            report.late_disks += node_report.late_disks;
+            for local in node_report.glitched {
+                let seq = self.by_host[&(i, local)];
+                self.meta
+                    .get_mut(&seq)
+                    .expect("hosted stream meta")
+                    .glitches += 1;
+                report.glitched_streams += 1;
+                self.total_glitches += 1;
+                self.metrics.glitches.inc();
+            }
+            for local in node_report.completed {
+                let seq = self
+                    .by_host
+                    .remove(&(i, local))
+                    .expect("completed stream was hosted");
+                self.hosted.remove(&seq);
+                let record = self.finish_stream(seq);
+                report.completed.push(record);
+            }
+        }
+
+        // 6. Outage charges: a stream on a silent host receives
+        // nothing this round — an unconditional glitch the composed
+        // bound pays for with its `ℓ/m` term.
+        for i in 0..n {
+            if operational[i as usize] {
+                continue;
+            }
+            let seqs: Vec<u64> = self
+                .by_host
+                .range((i, 0)..=(i, u64::MAX))
+                .map(|(_, &seq)| seq)
+                .collect();
+            for seq in seqs {
+                self.meta
+                    .get_mut(&seq)
+                    .expect("hosted stream meta")
+                    .glitches += 1;
+                report.outage_glitches += 1;
+            }
+        }
+        // Migrated streams waiting in a queue are also mid play-out
+        // and also receive nothing.
+        report.outage_glitches += self.dispatcher.charge_migrated_wait();
+        self.outage_glitches += report.outage_glitches;
+        self.total_glitches += report.outage_glitches;
+        self.metrics.glitches.add(report.outage_glitches);
+        self.metrics.glitches_outage.add(report.outage_glitches);
+
+        // 7. Lease expiry: evacuate each newly failed node and requeue
+        // its streams (original seq ⇒ ahead of newer arrivals) and its
+        // queued requests onto the survivors.
+        for failed in self.lease.expire(round) {
+            report.failed_nodes.push(failed);
+            self.metrics.lease_expirations.inc();
+            self.metrics.nodes_failed.inc();
+            self.metrics.migrations.inc();
+            let manifest = self.nodes[failed as usize].evacuate();
+            for e in manifest {
+                let seq = self
+                    .by_host
+                    .remove(&(failed, e.local_id))
+                    .expect("evacuated stream was hosted");
+                self.hosted.remove(&seq);
+                let remaining = e.object.rounds - e.fragments_consumed;
+                if remaining == 0 {
+                    let record = self.finish_stream(seq);
+                    report.completed.push(record);
+                    continue;
+                }
+                let meta = self.meta.get_mut(&seq).expect("evacuated stream meta");
+                meta.migrations += 1;
+                let pending = Pending {
+                    seq,
+                    object: ObjectSpec {
+                        rounds: remaining,
+                        ..e.object
+                    },
+                    carried_glitches: meta.glitches,
+                    migrated: true,
+                };
+                self.migrations_total += 1;
+                self.metrics.migrated_streams.inc();
+                self.metrics.requeued.inc();
+                let views = self.views();
+                match self.dispatcher.route(pending, &views, &self.placement) {
+                    Ok(to) => report.migrations.push(MigrationRecord {
+                        seq,
+                        from: failed,
+                        to,
+                        remaining_rounds: remaining,
+                    }),
+                    Err(p) => self.unrouted.push(p),
+                }
+            }
+            // Requests still parked on the dead node's queue re-route
+            // too, keeping their sequence numbers (and hence their
+            // place in line on the adopting queue).
+            for pending in self.dispatcher.drain_node(failed) {
+                self.metrics.requeued.inc();
+                let views = self.views();
+                if let Err(p) = self.dispatcher.route(pending, &views, &self.placement) {
+                    self.unrouted.push(p);
+                }
+            }
+        }
+
+        // 8. Gauges and the round counter.
+        self.metrics.streams_active.set(self.hosted.len() as f64);
+        self.metrics.streams_waiting.set(self.waiting() as f64);
+        self.metrics
+            .nodes_available
+            .set(f64::from(self.lease.live_count()));
+        self.metrics
+            .queue_depth
+            .record(self.dispatcher.queued_total() as f64);
+        self.round += 1;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_object(rounds: u32) -> ObjectSpec {
+        ObjectSpec::new(
+            "clip",
+            mzd_workload::SizeDistribution::paper_default(),
+            rounds,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn submit_round_trip_admits_and_completes() {
+        let cfg = ClusterConfig::paper_reference(4, 2).unwrap();
+        let mut fleet = Cluster::new(cfg, 11).unwrap();
+        let out = fleet.submit(small_object(3)).unwrap();
+        let SubmitOutcome::Queued { seq, node } = out else {
+            panic!("first submit must queue, got {out:?}");
+        };
+        assert_eq!(seq, 0);
+        assert!(node.is_some());
+        let r0 = fleet.run_round();
+        assert_eq!(r0.admitted, 1);
+        assert_eq!(fleet.active_streams(), 1);
+        fleet.run_round();
+        let r2 = fleet.run_round();
+        assert_eq!(r2.completed.len(), 1);
+        assert_eq!(r2.completed[0].seq, 0);
+        assert_eq!(r2.completed[0].rounds, 3);
+        assert_eq!(fleet.active_streams(), 0);
+        assert_eq!(fleet.completed().len(), 1);
+    }
+
+    #[test]
+    fn fleet_capacity_rejects_beyond_the_composed_cap() {
+        let cfg = ClusterConfig::paper_reference(2, 1).unwrap();
+        let mut fleet = Cluster::new(cfg, 3).unwrap();
+        let cap = fleet.guarantee().fleet_capacity;
+        assert!(cap > 0);
+        for _ in 0..cap {
+            assert!(matches!(
+                fleet.submit(small_object(50)).unwrap(),
+                SubmitOutcome::Queued { .. }
+            ));
+        }
+        assert_eq!(
+            fleet.submit(small_object(50)).unwrap(),
+            SubmitOutcome::Rejected {
+                fleet_capacity: cap
+            }
+        );
+        // Completion frees capacity again.
+        let mut fleet2 = Cluster::new(ClusterConfig::paper_reference(2, 1).unwrap(), 3).unwrap();
+        assert!(matches!(
+            fleet2.submit(small_object(1)).unwrap(),
+            SubmitOutcome::Queued { .. }
+        ));
+        fleet2.run_round();
+        assert_eq!(fleet2.active_streams(), 0);
+    }
+
+    #[test]
+    fn zone_failure_scenario_lifts_to_a_node_outage() {
+        let mut cfg = ClusterConfig::paper_reference(4, 1).unwrap();
+        let mut faults = mzd_fault::FaultConfig::preset("zonefail").unwrap();
+        faults.profile.scenario = ChaosScenario::ZoneFailure {
+            zone: 6,
+            start: 5,
+            rounds: 10,
+            factor: 20.0,
+        };
+        cfg.node.faults = Some(faults);
+        let fleet = Cluster::new(cfg, 1).unwrap();
+        assert_eq!(
+            fleet.config().outages,
+            vec![NodeOutage {
+                node: 2, // 6 % 4
+                start: 5,
+                rounds: 10,
+            }]
+        );
+        // The disks keep the base rates but not the zone schedule.
+        let nf = fleet.config().node.faults.as_ref().unwrap();
+        assert_eq!(nf.profile.scenario, ChaosScenario::None);
+        assert!(nf.profile.p_media > 0.0);
+    }
+
+    #[test]
+    fn failed_node_streams_requeue_ahead_and_finish_elsewhere() {
+        let mut cfg = ClusterConfig::paper_reference(3, 1).unwrap();
+        cfg.lease_rounds = 2;
+        // Node 1 goes dark from round 4, long enough to expire its lease.
+        cfg.outages.push(NodeOutage {
+            node: 1,
+            start: 4,
+            rounds: 50,
+        });
+        let mut fleet = Cluster::new(cfg, 9).unwrap();
+        // Seed enough streams that every node hosts some.
+        for _ in 0..24 {
+            fleet.submit(small_object(200)).unwrap();
+        }
+        for _ in 0..4 {
+            fleet.run_round();
+        }
+        let victim_streams = fleet.node(1).active_streams();
+        assert!(victim_streams > 0, "node 1 must host streams before dying");
+        // Lease = 2: silent at rounds 4 and 5, declared failed at
+        // round 5 (renewed last at round 3, lease runs to 3 + 2 = 5).
+        let mut failed_round = None;
+        let mut migrations = Vec::new();
+        for _ in 0..4 {
+            let r = fleet.run_round();
+            if !r.failed_nodes.is_empty() {
+                failed_round = Some(r.round);
+                migrations = r.migrations.clone();
+            }
+        }
+        assert_eq!(failed_round, Some(5), "failure must land at lease expiry");
+        assert_eq!(fleet.node(1).active_streams(), 0);
+        assert_eq!(migrations.len(), victim_streams);
+        for m in &migrations {
+            assert_eq!(m.from, 1);
+            assert_ne!(m.to, 1);
+            assert!(m.remaining_rounds > 0);
+        }
+        // Migrated streams carried their outage charges.
+        let status = fleet.status();
+        assert!(status.outage_glitches > 0);
+        assert_eq!(status.migrations, victim_streams as u64);
+    }
+
+    #[test]
+    fn revived_node_pulls_again_after_outage() {
+        let mut cfg = ClusterConfig::paper_reference(2, 1).unwrap();
+        cfg.lease_rounds = 1;
+        cfg.outages.push(NodeOutage {
+            node: 0,
+            start: 2,
+            rounds: 3,
+        });
+        let mut fleet = Cluster::new(cfg, 4).unwrap();
+        for _ in 0..6 {
+            fleet.submit(small_object(100)).unwrap();
+        }
+        let mut revived_at = None;
+        for _ in 0..8 {
+            let r = fleet.run_round();
+            if !r.revived_nodes.is_empty() {
+                revived_at = Some((r.round, r.revived_nodes.clone()));
+            }
+        }
+        assert_eq!(revived_at, Some((5, vec![0])), "outage [2,5) revives at 5");
+        assert_eq!(fleet.status().live_nodes, 2);
+    }
+
+    #[test]
+    fn rounds_are_deterministic_for_a_fixed_seed() {
+        let run = || {
+            let mut cfg = ClusterConfig::paper_reference(4, 2).unwrap();
+            cfg.outages.push(NodeOutage {
+                node: 2,
+                start: 3,
+                rounds: 20,
+            });
+            let mut fleet = Cluster::new(cfg, 77).unwrap();
+            let mut log = Vec::new();
+            for i in 0..30 {
+                if i % 2 == 0 {
+                    fleet.submit(small_object(12)).unwrap();
+                }
+                log.push(fleet.run_round());
+            }
+            (log, fleet.status())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,77 @@
+//! `cluster.*` metric handles.
+//!
+//! Registered eagerly when the [`crate::Cluster`] is constructed — a
+//! healthy fleet that never loses a node still exposes the full
+//! (zeroed) family, so calm and chaotic runs present identical metric
+//! catalogs to scrapers and the Prometheus exposition (the same
+//! contract the `fault.*` family keeps).
+
+/// Handles for every `cluster.*` series, created at construction.
+#[derive(Debug)]
+pub(crate) struct ClusterMetrics {
+    /// `cluster.nodes` — configured fleet size.
+    pub nodes: mzd_telemetry::Gauge,
+    /// `cluster.nodes.available` — nodes holding a live lease.
+    pub nodes_available: mzd_telemetry::Gauge,
+    /// `cluster.nodes.failed` — lease expirations declared so far.
+    pub nodes_failed: mzd_telemetry::Counter,
+    /// `cluster.streams.active` — streams hosted fleet-wide.
+    pub streams_active: mzd_telemetry::Gauge,
+    /// `cluster.streams.waiting` — requests parked in node queues.
+    pub streams_waiting: mzd_telemetry::Gauge,
+    /// `cluster.dispatch.submitted` — requests accepted by `submit`.
+    pub submitted: mzd_telemetry::Counter,
+    /// `cluster.dispatch.rejected` — requests refused (fleet at its
+    /// composed capacity).
+    pub rejected: mzd_telemetry::Counter,
+    /// `cluster.dispatch.admitted` — queue pulls that opened a stream.
+    pub admitted: mzd_telemetry::Counter,
+    /// `cluster.dispatch.requeued` — pendings re-routed off a failed
+    /// node's queue plus evacuated streams re-entering the line.
+    pub requeued: mzd_telemetry::Counter,
+    /// `cluster.lease.renewals` — successful per-round lease renewals.
+    pub lease_renewals: mzd_telemetry::Counter,
+    /// `cluster.lease.expirations` — leases declared expired.
+    pub lease_expirations: mzd_telemetry::Counter,
+    /// `cluster.migrations` — migration waves (one per failed node).
+    pub migrations: mzd_telemetry::Counter,
+    /// `cluster.migrated_streams` — streams moved by those waves.
+    pub migrated_streams: mzd_telemetry::Counter,
+    /// `cluster.glitches` — stream-glitch events fleet-wide (host
+    /// glitches plus outage charges).
+    pub glitches: mzd_telemetry::Counter,
+    /// `cluster.glitches.outage` — the subset charged to silent hosts
+    /// and post-migration queue wait.
+    pub glitches_outage: mzd_telemetry::Counter,
+    /// `cluster.round.queue_depth` — fleet queue depth sampled each
+    /// round.
+    pub queue_depth: mzd_telemetry::Histogram,
+    /// `cluster.p_error_bound` — the composed per-stream bound the
+    /// current admission level carries.
+    pub p_error_bound: mzd_telemetry::Gauge,
+}
+
+impl ClusterMetrics {
+    pub(crate) fn new() -> Self {
+        let g = mzd_telemetry::global();
+        Self {
+            nodes: g.gauge("cluster.nodes"),
+            nodes_available: g.gauge("cluster.nodes.available"),
+            nodes_failed: g.counter("cluster.nodes.failed"),
+            streams_active: g.gauge("cluster.streams.active"),
+            streams_waiting: g.gauge("cluster.streams.waiting"),
+            submitted: g.counter("cluster.dispatch.submitted"),
+            rejected: g.counter("cluster.dispatch.rejected"),
+            admitted: g.counter("cluster.dispatch.admitted"),
+            requeued: g.counter("cluster.dispatch.requeued"),
+            lease_renewals: g.counter("cluster.lease.renewals"),
+            lease_expirations: g.counter("cluster.lease.expirations"),
+            migrations: g.counter("cluster.migrations"),
+            migrated_streams: g.counter("cluster.migrated_streams"),
+            glitches: g.counter("cluster.glitches"),
+            glitches_outage: g.counter("cluster.glitches.outage"),
+            queue_depth: g.histogram("cluster.round.queue_depth"),
+            p_error_bound: g.gauge("cluster.p_error_bound"),
+        }
+    }
+}

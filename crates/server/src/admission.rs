@@ -113,6 +113,24 @@ impl AdmissionController {
         })
     }
 
+    /// Build a controller enforcing an explicitly supplied per-disk
+    /// limit instead of deriving it from the model. Used by layers whose
+    /// limit folds in effects the single-node model cannot see — e.g. a
+    /// cluster's composed guarantee, which charges the glitch budget for
+    /// lease-timeout outage and migration latency before solving for the
+    /// feasible per-disk stream count.
+    #[must_use]
+    pub fn with_limit(per_disk_limit: u32, round_length: f64, target: QualityTarget) -> Self {
+        Self {
+            target,
+            round_length,
+            per_disk_limit,
+            cache_safety: None,
+            hit_ratio_lower_bound: 0.0,
+            over_admission_frozen: false,
+        }
+    }
+
     /// The per-disk stream limit the analytic model yields (before any
     /// cache-aware inflation).
     #[must_use]

@@ -54,7 +54,9 @@ pub mod striping;
 pub use admission::{AdmissionController, AdmissionDecision, QualityTarget};
 pub use buffer::BufferTracker;
 pub use degrade::{DegradeSettings, DegradeStatus};
-pub use server::{CacheSettings, RoundReport, ServerConfig, StreamHandle, VideoServer};
+pub use server::{
+    ActiveStreamInfo, CacheSettings, RoundReport, ServerConfig, StreamHandle, VideoServer,
+};
 pub use slo::{SloSettings, SloStatus};
 pub use striping::StripingLayout;
 

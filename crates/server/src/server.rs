@@ -42,6 +42,7 @@ struct ServerMetrics {
     accepted: mzd_telemetry::Counter,
     rejected: mzd_telemetry::Counter,
     queued: mzd_telemetry::Counter,
+    requeued: mzd_telemetry::Counter,
     queue_depth: mzd_telemetry::Histogram,
     buffer_occupancy: mzd_telemetry::Gauge,
     waiting: mzd_telemetry::Gauge,
@@ -62,6 +63,7 @@ impl ServerMetrics {
             accepted: g.counter("server.admission.accepted"),
             rejected: g.counter("server.admission.rejected"),
             queued: g.counter("server.admission.queued"),
+            requeued: g.counter("server.admission.requeued"),
             queue_depth: g.histogram("server.round.queue_depth"),
             buffer_occupancy: g.gauge("server.buffer.occupancy"),
             waiting: g.gauge("server.round.waiting"),
@@ -217,6 +219,23 @@ struct Session {
     degradable: bool,
 }
 
+/// A point-in-time view of one active session, carrying everything
+/// needed to migrate the stream to another server: the object, play-out
+/// progress, and the glitches already charged to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveStreamInfo {
+    /// The stream's handle on this server.
+    pub handle: StreamHandle,
+    /// The object being played out.
+    pub object: ObjectSpec,
+    /// Fragments consumed so far (the resume point).
+    pub fragments_consumed: u32,
+    /// Glitches suffered so far on this server.
+    pub glitches: u64,
+    /// Whether the stream is currently paused.
+    pub paused: bool,
+}
+
 /// A finished (played-out or cancelled) stream's record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompletedStream {
@@ -281,6 +300,15 @@ pub struct VideoServer {
     disks: Vec<RoundSimulator>,
     sessions: Vec<Session>,
     completed: Vec<CompletedStream>,
+    /// Pending requests as `(arrival id, object)`.
+    ///
+    /// **Fairness invariant:** the queue is kept sorted by ascending
+    /// arrival id at all times. [`Self::enqueue_stream`] appends with a
+    /// fresh (monotone) id; [`Self::requeue_stream`] re-inserts an old
+    /// arrival at its sorted position. [`Self::drain_wait_queue`] admits
+    /// strictly front-first, so admission order always equals arrival
+    /// order — a requeued (migrated/preempted) stream re-enters *ahead
+    /// of* every request that arrived after it, never at the tail.
     waiting: std::collections::VecDeque<(u64, ObjectSpec)>,
     rng: StdRng,
     next_id: u64,
@@ -493,6 +521,26 @@ impl VideoServer {
         &self.completed
     }
 
+    /// Snapshots of every active session, sorted by stream id (admission
+    /// order) — the evacuation manifest a cluster layer reads before
+    /// migrating this node's streams elsewhere.
+    #[must_use]
+    pub fn active_session_info(&self) -> Vec<ActiveStreamInfo> {
+        let mut info: Vec<ActiveStreamInfo> = self
+            .sessions
+            .iter()
+            .map(|s| ActiveStreamInfo {
+                handle: StreamHandle(s.id),
+                object: s.object.clone(),
+                fragments_consumed: s.fragments_consumed,
+                glitches: s.glitches,
+                paused: s.paused,
+            })
+            .collect();
+        info.sort_by_key(|s| s.handle.id());
+        info
+    }
+
     /// The fragment cache, if one is configured and enabled.
     #[must_use]
     pub fn cache(&self) -> Option<&FragmentCache> {
@@ -644,10 +692,53 @@ impl VideoServer {
         self.waiting.len()
     }
 
-    /// Admit as many waiting requests as capacity allows (FIFO). Called
-    /// automatically at the end of every round; public so callers can
-    /// trigger it after [`Self::close_stream`].
+    /// Re-enter a previously arrived request into the wait queue without
+    /// losing its place in line. `arrival` is the id the request was
+    /// assigned when it first arrived at this server (a queued entry's
+    /// id, or an admitted stream's [`StreamHandle::id`] when it is
+    /// preempted or migrated back).
+    ///
+    /// The entry is inserted at its sorted position by arrival id — not
+    /// pushed to the tail — so a requeued stream goes back in line ahead
+    /// of every request that arrived after it (see the fairness
+    /// invariant on [`Self::drain_wait_queue`]). Requeues of the same
+    /// arrival id keep their relative call order.
+    pub fn requeue_stream(&mut self, arrival: u64, object: ObjectSpec) {
+        let pos = self.waiting.partition_point(|(id, _)| *id <= arrival);
+        self.waiting.insert(pos, (arrival, object));
+        self.metrics.requeued.inc();
+        self.metrics.waiting.set(self.waiting.len() as f64);
+        if mzd_telemetry::events_enabled() {
+            mzd_telemetry::emit(
+                mzd_telemetry::Event::new("server.admission")
+                    .str("decision", "requeue")
+                    .u64("stream", arrival)
+                    .u64("position", pos as u64)
+                    .u64("waiting", self.waiting.len() as u64),
+            );
+        }
+    }
+
+    /// Admit as many waiting requests as capacity allows, strictly
+    /// front-first. Called automatically at the end of every round;
+    /// public so callers can trigger it after [`Self::close_stream`].
+    ///
+    /// **Fairness invariant:** the wait queue is sorted by ascending
+    /// arrival id ([`Self::enqueue_stream`] appends monotone ids,
+    /// [`Self::requeue_stream`] re-inserts at the sorted position), and
+    /// this drain only ever admits the front entry. Together these
+    /// guarantee strict FIFO by *original arrival* even under requeue: a
+    /// migrated stream is re-admitted before any request that arrived
+    /// after it, and two requeued streams keep their relative arrival
+    /// order.
     pub fn drain_wait_queue(&mut self) -> Vec<StreamHandle> {
+        debug_assert!(
+            self.waiting
+                .iter()
+                .zip(self.waiting.iter().skip(1))
+                .all(|((a, _), (b, _))| a <= b),
+            "wait queue out of arrival order — requeue must insert sorted"
+        );
         let mut admitted = Vec::new();
         while let Some((id, object)) = self.waiting.front().cloned() {
             match self.admission.decide(&self.load) {
@@ -1702,6 +1793,99 @@ mod tests {
         assert_eq!(admitted_total, 3);
         assert_eq!(s.waiting_streams(), 0);
         assert_eq!(s.active_streams(), 3);
+    }
+
+    #[test]
+    fn requeue_reenters_ahead_of_newer_arrivals() {
+        let mut s = server(1, 19);
+        // Fill capacity, then queue three requests and capture the
+        // middle one's arrival id.
+        while s.open_stream(short_object(50)).is_ok() {}
+        assert!(s.enqueue_stream(short_object(50)).is_none());
+        assert!(s.enqueue_stream(short_object(50)).is_none());
+        assert!(s.enqueue_stream(short_object(50)).is_none());
+        assert_eq!(s.waiting_streams(), 3);
+        // A migrated stream whose original arrival (stream id 0, the
+        // very first admission) predates every queued request re-enters
+        // at the FRONT, not the tail.
+        let b_arrival = 0u64;
+        s.requeue_stream(b_arrival, short_object(7));
+        assert_eq!(s.waiting_streams(), 4);
+        // Free one slot: the requeued (oldest) entry must be admitted
+        // first even though it was pushed last.
+        let victim = s.active_session_info()[0].handle;
+        s.close_stream(victim).unwrap();
+        let admitted = s.drain_wait_queue();
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(admitted[0].id(), b_arrival);
+        // The admitted session plays the requeued 7-round object.
+        let got = s
+            .active_session_info()
+            .into_iter()
+            .find(|i| i.handle == admitted[0])
+            .unwrap();
+        assert_eq!(got.object.rounds, 7);
+    }
+
+    #[test]
+    fn requeued_streams_keep_relative_arrival_order() {
+        let mut s = server(1, 20);
+        while s.open_stream(short_object(50)).is_ok() {}
+        // Two "migrated" streams with old arrival ids 3 and 5, requeued
+        // newest-first: drain must still admit 3 before 5, and both
+        // before the freshly queued request.
+        assert!(s.enqueue_stream(short_object(50)).is_none());
+        // "Migrate off" the sessions with ids 3 and 5 first so their
+        // arrival ids are free to re-enter the queue.
+        let victims: Vec<_> = s
+            .active_session_info()
+            .iter()
+            .filter(|i| [0, 3, 5].contains(&i.handle.id()))
+            .map(|i| i.handle)
+            .collect();
+        assert_eq!(victims.len(), 3);
+        s.requeue_stream(5, short_object(9));
+        s.requeue_stream(3, short_object(8));
+        assert_eq!(s.waiting_streams(), 3);
+        for v in victims {
+            s.close_stream(v).unwrap();
+        }
+        let admitted = s.drain_wait_queue();
+        assert_eq!(admitted.len(), 3);
+        assert_eq!(admitted[0].id(), 3);
+        assert_eq!(admitted[1].id(), 5);
+        let rounds: Vec<u32> = admitted
+            .iter()
+            .map(|h| {
+                s.active_session_info()
+                    .into_iter()
+                    .find(|i| i.handle == *h)
+                    .unwrap()
+                    .object
+                    .rounds
+            })
+            .collect();
+        assert_eq!(rounds[0], 8);
+        assert_eq!(rounds[1], 9);
+        assert_eq!(rounds[2], 50);
+    }
+
+    #[test]
+    fn active_session_info_is_a_faithful_manifest() {
+        let mut s = server(2, 21);
+        let a = s.open_stream(short_object(30)).unwrap();
+        let b = s.open_stream(short_object(40)).unwrap();
+        s.run_round();
+        s.run_round();
+        s.pause_stream(b).unwrap();
+        let info = s.active_session_info();
+        assert_eq!(info.len(), 2);
+        assert_eq!(info[0].handle, a);
+        assert_eq!(info[1].handle, b);
+        assert_eq!(info[0].fragments_consumed, 2);
+        assert!(!info[0].paused);
+        assert!(info[1].paused);
+        assert_eq!(info[0].object.rounds, 30);
     }
 
     #[test]

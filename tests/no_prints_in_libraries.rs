@@ -18,10 +18,11 @@ const BANNED: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"]
 /// crates automatically; this list only guards the discovery — if a
 /// crate is added without updating it, the test fails loudly instead of
 /// silently skipping the newcomer (and vice versa for removals).
-const EXPECTED_CRATES: [&str; 15] = [
+const EXPECTED_CRATES: [&str; 16] = [
     "bench",
     "cache",
     "cli",
+    "cluster",
     "core",
     "disk",
     "fault",

@@ -1,9 +1,10 @@
 //! The mzd-par determinism contract, checked end to end: every
 //! parallelized scientific pipeline must produce bit-identical output
 //! for any worker count. The tests drive the real pipelines — the cache
-//! sweep grid, the drift-injection scenario, and the Gil–Pelaez CDF
-//! tabulation — at jobs ∈ {1, 2, 8} and compare outputs exactly
-//! (`f64::to_bits`, not approximate equality).
+//! sweep grid, the drift-injection scenario, the Gil–Pelaez CDF
+//! tabulation, and the cluster fleet round loop — at jobs ∈ {1, 2, 8}
+//! and compare outputs exactly (`f64::to_bits`, not approximate
+//! equality).
 //!
 //! `set_jobs` is process-global, so every test that pins it holds a
 //! shared lock and restores the hardware default before releasing it.
@@ -97,6 +98,49 @@ fn replicated_windows_are_identical_across_job_counts() {
     let reference = with_jobs(1, run);
     assert_eq!(reference.rounds, 1000);
     assert_eq!(reference.glitches_per_stream.len(), 8 * 27);
+    for jobs in JOB_COUNTS {
+        let other = with_jobs(jobs, run);
+        assert_eq!(reference, other, "jobs = {jobs}");
+    }
+}
+
+#[test]
+fn cluster_fleet_is_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    // A 16-node fleet with a scripted mid-run node outage: the round
+    // loop steps nodes in parallel (`par_map_owned`), so this pins the
+    // whole dispatch/step/migrate cycle to the determinism contract.
+    let run = || {
+        let mut cfg = mzd_cluster::ClusterConfig::paper_reference(16, 2).unwrap();
+        cfg.lease_rounds = 2;
+        cfg.outages.push(mzd_cluster::NodeOutage {
+            node: 5,
+            start: 20,
+            rounds: 30,
+        });
+        let mut fleet = mzd_cluster::Cluster::new(cfg, 4242).unwrap();
+        let object = mzd_workload::ObjectSpec::new(
+            "det",
+            mzd_workload::SizeDistribution::paper_default(),
+            40,
+        )
+        .unwrap();
+        for _ in 0..400 {
+            fleet.submit(object.clone()).unwrap();
+        }
+        let mut reports = Vec::new();
+        for _ in 0..80 {
+            reports.push(fleet.run_round());
+        }
+        (reports, fleet.status())
+    };
+    let reference = with_jobs(1, run);
+    let (ref_reports, ref_status) = &reference;
+    assert!(
+        ref_reports.iter().any(|r| !r.migrations.is_empty()),
+        "the outage must actually migrate streams"
+    );
+    assert!(ref_status.completed > 0);
     for jobs in JOB_COUNTS {
         let other = with_jobs(jobs, run);
         assert_eq!(reference, other, "jobs = {jobs}");
