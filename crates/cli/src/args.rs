@@ -90,7 +90,10 @@ commands:
               --cache-safety S    [enables cache-aware admission]
               --slo               [burn-rate + model-conformance monitor]
               --trace-out PATH    [per-stream causal trace, Chrome JSON;
-                                   implies --slo]
+                                   implies --slo; with --nodes N the
+                                   per-node traces are stitched under
+                                   one root span per stream, so a
+                                   migration reads as one causal chain]
               --fault-profile SPEC [same grammar as --faults; add
                                     disk=D to degrade one spindle only]
               --work-ahead K      [prefetch K fragments/stream into the
@@ -100,14 +103,21 @@ commands:
               --postmortem-dir DIR [attach the flight recorder; an SLO
                                     fast-burn alert, a ladder escalation
                                     or a round overrun dumps a
-                                    post-mortem bundle under DIR]
+                                    post-mortem bundle under DIR; with
+                                    --nodes N every node gets its own
+                                    recorder and a fleet trigger dumps
+                                    all of them under DIR/node-I/ plus
+                                    a correlating DIR/MANIFEST.json]
               --recorder-capacity N [rounds retained in the flight
                                      recorder ring; default 64]
               --dump-on-exit      [also dump a manual bundle at exit]
               --profile-out PATH  [phase profile as collapsed stacks,
                                    flamegraph.pl/inferno compatible]
               --prom-out PATH     [Prometheus text exposition of the
-                                   metrics registry, written per round])
+                                   metrics registry, written per round;
+                                   with --nodes N it also carries the
+                                   fleet's node-labeled quantile-sketch
+                                   series and merged fleet summaries])
   plan       disks for a population (flags: --population N --m R --g G --epsilon P)
   worstcase  deterministic worst-case limits (eq. 4.1)
   disks      list built-in drive profiles
@@ -118,7 +128,9 @@ commands:
               --out PATH)
   postmortem render a flight-recorder bundle as a timeline and audit the
              observed phase decomposition against the analytic model
-             (flags: --bundle DIR)
+             (flags: --bundle DIR | --fleet DIR  [a fleet bundle written
+              by serve --nodes: cross-node timeline keyed by round, with
+              the decomposition audited per node])
   help       this text
 
 common flags:

@@ -421,8 +421,7 @@ fn serve(parsed: &Parsed) -> Result<String, CliError> {
         // Live exposition: a scraper (or textfile collector) pointed at
         // the file sees the registry as of the latest completed round.
         if let Some(path) = parsed.str_opt("prom-out") {
-            let text = mzd_telemetry::prom::render(mzd_telemetry::global());
-            std::fs::write(path, text)
+            std::fs::write(path, crate::telemetry::render_prom())
                 .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
         }
     }
@@ -597,6 +596,42 @@ fn serve_cluster(parsed: &Parsed, nodes: u32, disks: u32) -> Result<String, CliE
     // population the guarantee covers.
     let streams = parsed.u64_or("streams", guarantee.fleet_capacity)?;
 
+    // Cross-node trace stitching: one root span per stream at the
+    // dispatcher, adopted by every host it migrates across.
+    if parsed.has("trace-out") {
+        fleet
+            .enable_tracing()
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+    }
+    // Correlated fleet postmortems: per-node recorders under
+    // `DIR/node-{i}/` plus the fleet manifest the triggers write.
+    if let Some(dir) = parsed.str_opt("postmortem-dir") {
+        let capacity = usize::try_from(parsed.u64_or("recorder-capacity", 64)?)
+            .map_err(|_| CliError::Usage("--recorder-capacity is too large".into()))?;
+        let mut settings = mzd_prof::RecorderSettings::new(dir);
+        settings.capacity = capacity.max(1);
+        settings.config_echo = vec![
+            ("disk".into(), parsed.str_or("disk", "viking").into()),
+            ("disks".into(), disks.to_string()),
+            ("nodes".into(), nodes.to_string()),
+            ("lease_rounds".into(), lease_rounds.to_string()),
+            (
+                "mean".into(),
+                format!("{}", parsed.f64_or("mean", 200_000.0)?),
+            ),
+            ("sd".into(), format!("{}", parsed.f64_or("sd", 100_000.0)?)),
+            ("round".into(), format!("{}", parsed.f64_or("round", 1.0)?)),
+            ("seed".into(), seed.to_string()),
+            ("streams".into(), streams.to_string()),
+            ("rounds".into(), rounds.to_string()),
+            (
+                "fault_profile".into(),
+                parsed.str_or("fault-profile", "").into(),
+            ),
+        ];
+        fleet.attach_recorders(&settings);
+    }
+
     let (catalog, zipf) = serve_catalog(parsed)?;
     let mut arrivals = StdRng::seed_from_u64(seed ^ 0x5EED_CA7A_0A11_0C8D);
     let mut rejected = 0u64;
@@ -629,11 +664,26 @@ fn serve_cluster(parsed: &Parsed, nodes: u32, disks: u32) -> Result<String, CliE
         for _ in &report.completed {
             rejected += submit(&mut fleet, &mut arrivals);
         }
-        if let Some(path) = parsed.str_opt("prom-out") {
-            let text = mzd_telemetry::prom::render(mzd_telemetry::global());
-            std::fs::write(path, text)
+        // Live flush: cluster.* counters and gauges land in the same
+        // snapshot sink per round, so a mid-run reader sees fleet
+        // state, not just the final write at exit.
+        if let Some(path) = parsed.str_opt("metrics-out") {
+            let json = mzd_telemetry::global().snapshot().to_json();
+            std::fs::write(path, json)
                 .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
         }
+        if let Some(path) = parsed.str_opt("prom-out") {
+            // The fleet's labeled sketch series ride along as an
+            // appendix to the process-global registry.
+            crate::telemetry::set_prom_appendix(fleet.sketches().render_prom());
+            std::fs::write(path, crate::telemetry::render_prom())
+                .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+        }
+    }
+    // Keep the appendix current for the exit-time `--prom-out` write.
+    crate::telemetry::set_prom_appendix(fleet.sketches().render_prom());
+    if parsed.flag("dump-on-exit") {
+        fleet.trigger_fleet_dump(mzd_prof::DumpTrigger::Manual);
     }
 
     let status = fleet.status();
@@ -706,6 +756,40 @@ fn serve_cluster(parsed: &Parsed, nodes: u32, disks: u32) -> Result<String, CliE
         "  observed: {over_budget} of {} completed stream(s) exceeded the g = {} glitch budget",
         status.completed, guarantee.g
     );
+    let service = fleet.sketches().merged(mzd_cluster::SKETCH_SERVICE_TIME);
+    if service.count() > 0 {
+        let _ = writeln!(
+            out,
+            "  service time: fleet p50 {:.4}s / p99 {:.4}s / p999 {:.4}s over {} disk-round(s)",
+            service.quantile(0.5),
+            service.quantile(0.99),
+            service.quantile(0.999),
+            service.count()
+        );
+    }
+    if let Some(path) = parsed.str_opt("trace-out") {
+        let json = fleet
+            .trace_chrome_json()
+            .ok_or_else(|| CliError::Execution("tracing was not enabled".into()))?;
+        let spans = json.matches("\"ph\":\"X\"").count();
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "  trace: {spans} stitched span(s) -> {path}");
+    }
+    if parsed.has("postmortem-dir") {
+        let dumps = fleet.fleet_dumps();
+        if dumps.is_empty() {
+            let _ = writeln!(out, "  postmortem: no fleet dump triggered");
+        }
+        for (trigger, path) in dumps {
+            let _ = writeln!(
+                out,
+                "  postmortem: {} -> {}",
+                trigger.as_str(),
+                path.display()
+            );
+        }
+    }
     Ok(out)
 }
 

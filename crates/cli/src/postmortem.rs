@@ -20,15 +20,19 @@ use crate::CliError;
 use mzd_core::{GuaranteeModel, ZoneHandling};
 use std::fmt::Write as _;
 
-/// Execute `mzd postmortem --bundle DIR`.
+/// Execute `mzd postmortem --bundle DIR` or `--fleet DIR`.
 ///
 /// # Errors
-/// [`CliError::Usage`] without `--bundle`; [`CliError::Execution`] when
-/// the bundle is unreadable, tampered with, or schema-incompatible.
+/// [`CliError::Usage`] without `--bundle`/`--fleet`;
+/// [`CliError::Execution`] when a bundle is unreadable, tampered with,
+/// or schema-incompatible, or when an identity audit fails.
 pub fn run(parsed: &Parsed) -> Result<String, CliError> {
+    if let Some(dir) = parsed.str_opt("fleet") {
+        return run_fleet(dir);
+    }
     let dir = parsed
         .str_opt("bundle")
-        .ok_or_else(|| CliError::Usage("postmortem needs --bundle DIR".into()))?;
+        .ok_or_else(|| CliError::Usage("postmortem needs --bundle DIR or --fleet DIR".into()))?;
     let bundle = mzd_prof::read_bundle(std::path::Path::new(dir))
         .map_err(|e| CliError::Execution(format!("bundle {dir}: {e}")))?;
     let mut out = String::with_capacity(4096);
@@ -107,6 +111,123 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
 
     if let Some(last) = bundle.rounds.last() {
         analytic_diff(&mut out, &bundle, last);
+    }
+    Ok(out)
+}
+
+/// Execute `mzd postmortem --fleet DIR`: read the correlated fleet
+/// bundle ([`mzd_prof::read_fleet_bundle`] verifies the full checksum
+/// chain), render a cross-node timeline keyed by logical round, and
+/// audit the per-disk phase-decomposition identity on every node.
+///
+/// # Errors
+/// [`CliError::Execution`] when the fleet manifest or any node bundle
+/// is unreadable or tampered with, or when the identity is violated on
+/// any node.
+fn run_fleet(dir: &str) -> Result<String, CliError> {
+    let fleet = mzd_prof::read_fleet_bundle(std::path::Path::new(dir))
+        .map_err(|e| CliError::Execution(format!("fleet bundle {dir}: {e}")))?;
+    let with_bundles = fleet.nodes.iter().flatten().count();
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "fleet postmortem {dir}");
+    let _ = writeln!(
+        out,
+        "  trigger: {} at fleet round {}; {} node(s), {} with bundles",
+        fleet.trigger,
+        fleet.round,
+        fleet.entries.len(),
+        with_bundles
+    );
+
+    // Cross-node timeline: the union of retained rounds, one column
+    // per node, so the failure wave (a node going silent, survivors
+    // absorbing its load) reads left to right on one line per round.
+    let rounds: std::collections::BTreeSet<u64> = fleet
+        .nodes
+        .iter()
+        .flatten()
+        .flat_map(|b| b.rounds.iter().map(|s| s.round))
+        .collect();
+    let _ = writeln!(
+        out,
+        "\n  cross-node timeline (retained rounds; ! = late disk):"
+    );
+    let mut header = format!("  {:>6}", "round");
+    for entry in &fleet.entries {
+        let _ = write!(header, "  {:<26}", format!("node {}", entry.node));
+    }
+    let _ = writeln!(out, "{header}");
+    for round in rounds {
+        let _ = write!(out, "  {round:>6}");
+        for bundle in &fleet.nodes {
+            let cell = match bundle
+                .as_ref()
+                .and_then(|b| b.rounds.iter().find(|s| s.round == round))
+            {
+                Some(s) => {
+                    let svc_max = s
+                        .disks
+                        .iter()
+                        .map(|d| d.service_time)
+                        .fold(0.0_f64, f64::max);
+                    let late = s.disks.iter().any(|d| d.late);
+                    format!(
+                        "act {:>3} g {:>2} svc {:>6.3}{}",
+                        s.active_streams,
+                        s.glitches,
+                        svc_max,
+                        if late { "!" } else { " " }
+                    )
+                }
+                None => "-".to_string(),
+            };
+            let _ = write!(out, "  {cell:<26}");
+        }
+        let _ = writeln!(out);
+    }
+
+    // Per-node audit: the same seek+rot+xfer+stall+fault = service
+    // identity `--bundle` checks, run over every node's window.
+    let _ = writeln!(out, "\n  per-node decomposition identity:");
+    let mut total_violations = 0u64;
+    for (entry, bundle) in fleet.entries.iter().zip(&fleet.nodes) {
+        match bundle {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  node {}: no bundle (nothing recorded before the trigger)",
+                    entry.node
+                );
+            }
+            Some(b) => {
+                let violations = b
+                    .rounds
+                    .iter()
+                    .flat_map(|s| &s.disks)
+                    .filter(|d| !decomposition_holds(d))
+                    .count() as u64;
+                total_violations += violations;
+                let _ = writeln!(
+                    out,
+                    "  node {}: {} at round {}, {} round(s) retained, identity {}",
+                    entry.node,
+                    b.trigger.as_str(),
+                    b.round,
+                    b.rounds.len(),
+                    if violations == 0 {
+                        "holds".to_string()
+                    } else {
+                        format!("VIOLATED on {violations} disk-round(s)")
+                    }
+                );
+            }
+        }
+    }
+    if total_violations > 0 {
+        return Err(CliError::Execution(format!(
+            "fleet bundle {dir}: phase decomposition violated on \
+             {total_violations} disk-round(s)\n\n{out}"
+        )));
     }
     Ok(out)
 }
@@ -232,6 +353,52 @@ mod tests {
         // Provenance echoed into the manifest supports the analytic diff.
         assert!(rendered.contains("disk=viking"), "{rendered}");
         assert!(rendered.contains("analytic decomposition"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_serve_dump_round_trips_through_postmortem_fleet() {
+        let dir = temp_dir("fleet_roundtrip");
+        let out = run_line(&[
+            "serve",
+            "--nodes",
+            "4",
+            "--disks",
+            "1",
+            "--lease-rounds",
+            "3",
+            "--rounds",
+            "30",
+            "--seed",
+            "7",
+            "--object-rounds",
+            "60",
+            "--fault-profile",
+            "scenario=zonefail:1:10:15:20",
+            "--postmortem-dir",
+            dir.to_str().unwrap(),
+            "--recorder-capacity",
+            "16",
+        ])
+        .unwrap();
+        assert!(out.contains("postmortem: lease.expiry_storm ->"), "{out}");
+        assert!(dir.join("MANIFEST.json").is_file());
+        let rendered = run_line(&["postmortem", "--fleet", dir.to_str().unwrap()]).unwrap();
+        assert!(
+            rendered.contains("trigger: lease.expiry_storm at fleet round"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("4 node(s), 4 with bundles"), "{rendered}");
+        assert!(rendered.contains("cross-node timeline"), "{rendered}");
+        // Every node's bundle passes the phase-decomposition audit.
+        for node in 0..4 {
+            assert!(
+                rendered.contains(&format!("node {node}: lease.expiry_storm at round")),
+                "{rendered}"
+            );
+        }
+        assert!(rendered.contains("identity holds"), "{rendered}");
+        assert!(!rendered.contains("VIOLATED"), "{rendered}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

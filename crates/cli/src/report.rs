@@ -212,6 +212,14 @@ fn esc(text: &str) -> String {
     out
 }
 
+/// Dotted-name prefixes the report attributes to a core subsystem.
+/// Anything else rolls up under "other families" — by design, so a
+/// freshly added subsystem (or a misspelled name) is conspicuous
+/// rather than camouflaged among the familiar rows.
+const KNOWN_FAMILIES: [&str; 9] = [
+    "cache", "core", "degrade", "fault", "par", "server", "sim", "slo", "solver",
+];
+
 fn metrics_section(out: &mut String, metrics_text: &str) {
     let Ok(doc) = json::parse(metrics_text) else {
         let _ = writeln!(
@@ -223,22 +231,46 @@ fn metrics_section(out: &mut String, metrics_text: &str) {
     let _ = writeln!(out, "<h2>Metrics snapshot</h2>");
     // Family roll-up first: one row per dotted prefix (`sim.*`, `par.*`,
     // `fault.*`, `degrade.*`, ...), so a reader can tell at a glance
-    // which subsystems were live in this run.
-    let mut families: BTreeMap<String, u64> = BTreeMap::new();
+    // which subsystems were live in this run. Prefixes outside the
+    // known set (a new subsystem like `cluster.*`, or a typo) are not
+    // silently blended in — they land in an explicit "other" section
+    // so their novelty is visible.
+    let mut known: BTreeMap<String, u64> = BTreeMap::new();
+    let mut other: BTreeMap<String, u64> = BTreeMap::new();
     for section in ["counters", "gauges", "histograms"] {
         if let Some(map) = doc.get(section).and_then(Value::as_object) {
             for name in map.keys() {
                 let family = name.split('.').next().unwrap_or(name);
-                *families.entry(format!("{family}.*")).or_insert(0) += 1;
+                let bucket = if KNOWN_FAMILIES.contains(&family) {
+                    &mut known
+                } else {
+                    &mut other
+                };
+                *bucket.entry(format!("{family}.*")).or_insert(0) += 1;
             }
         }
     }
-    if !families.is_empty() {
+    if !known.is_empty() {
         let _ = writeln!(
             out,
             "<h3>families</h3><table><tr><th>family</th><th>metrics</th></tr>"
         );
-        for (family, count) in &families {
+        for (family, count) in &known {
+            let _ = writeln!(
+                out,
+                "<tr><td><code>{}</code></td><td>{count}</td></tr>",
+                esc(family)
+            );
+        }
+        let _ = writeln!(out, "</table>");
+    }
+    if !other.is_empty() {
+        let _ = writeln!(
+            out,
+            "<h3>other families</h3><p class=\"dim\">prefixes outside the \
+             known subsystem set</p><table><tr><th>family</th><th>metrics</th></tr>"
+        );
+        for (family, count) in &other {
             let _ = writeln!(
                 out,
                 "<tr><td><code>{}</code></td><td>{count}</td></tr>",
@@ -579,6 +611,30 @@ mod tests {
         assert!(html.contains("Metrics snapshot"), "{html}");
         assert!(!html.contains("<h3>families</h3>"), "{html}");
         assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn unknown_families_roll_up_under_other() {
+        // cluster.* is not in the known-subsystem set: it must surface
+        // in an explicit "other families" section, not blend into (or
+        // vanish from) the main roll-up.
+        let metrics = "{\"counters\":{\"sim.rounds\":4,\"cluster.migrations\":2,\
+                       \"cluster.node_failures\":1,\"mystery.widget\":9},\
+                       \"gauges\":{},\"histograms\":{}}";
+        let html = render(&sample_events(), Some(metrics), None, "events.jsonl");
+        assert!(html.contains("<h3>families</h3>"), "{html}");
+        assert!(html.contains("sim.*"), "{html}");
+        assert!(html.contains("other families"), "{html}");
+        assert!(html.contains("cluster.*"), "{html}");
+        assert!(html.contains("mystery.*"), "{html}");
+        // Known table precedes the other-family table.
+        let known_at = html.find("<h3>families</h3>").unwrap();
+        let other_at = html.find("other families").unwrap();
+        assert!(known_at < other_at, "{html}");
+        // A snapshot with only known families omits the other section.
+        let metrics = "{\"counters\":{\"sim.rounds\":4},\"gauges\":{},\"histograms\":{}}";
+        let html = render(&sample_events(), Some(metrics), None, "events.jsonl");
+        assert!(!html.contains("other families"), "{html}");
     }
 
     #[test]

@@ -15,7 +15,27 @@
 
 use crate::args::Parsed;
 use crate::CliError;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Extra Prometheus exposition text appended after the global registry
+/// whenever `--prom-out` renders — how `serve --nodes` ships the
+/// fleet's labeled quantile-sketch series (which live on the cluster,
+/// not in the process-global registry) through the same file.
+static PROM_APPENDIX: Mutex<String> = Mutex::new(String::new());
+
+/// Replace the Prometheus exposition appendix (see [`render_prom`]).
+pub fn set_prom_appendix(text: String) {
+    *PROM_APPENDIX.lock().expect("prom appendix lock") = text;
+}
+
+/// The global registry in Prometheus text exposition format, followed
+/// by any appendix registered with [`set_prom_appendix`].
+#[must_use]
+pub fn render_prom() -> String {
+    let mut text = mzd_telemetry::prom::render(mzd_telemetry::global());
+    text.push_str(&PROM_APPENDIX.lock().expect("prom appendix lock"));
+    text
+}
 
 /// Install the event sink the flags ask for. Call once, before the
 /// command executes.
@@ -49,8 +69,7 @@ pub fn finish(parsed: &Parsed) -> Result<(), CliError> {
             .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
     }
     if let Some(path) = parsed.str_opt("prom-out") {
-        let text = mzd_telemetry::prom::render(mzd_telemetry::global());
-        std::fs::write(path, text)
+        std::fs::write(path, render_prom())
             .map_err(|e| CliError::Execution(format!("cannot write {path}: {e}")))?;
     }
     Ok(())

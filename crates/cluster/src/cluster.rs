@@ -29,9 +29,14 @@
 //! scenarios stay on the disks where they belong.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use mzd_fault::ChaosScenario;
+use mzd_obs::SketchFleet;
+use mzd_prof::{DumpTrigger, Recorder, RecorderSettings};
 use mzd_server::{AdmissionController, AdmissionDecision, ServerConfig};
+use mzd_slo::Tracer;
+use mzd_telemetry::SpanContext;
 use mzd_workload::ObjectSpec;
 
 use crate::dispatcher::{Dispatcher, LeaseTable, NodeView, Pending};
@@ -46,6 +51,24 @@ use crate::ClusterError;
 /// charge `ℓ/m` stays a small fraction of the paper-default glitch
 /// budget (`(3 + 2)/1200` against `g/m = 12/1200`).
 pub const DEFAULT_LEASE_ROUNDS: u32 = 3;
+
+/// Sketch name: per-disk sweep service time (seconds), recorded once
+/// per disk per round into the owning node's labeled scope.
+pub const SKETCH_SERVICE_TIME: &str = "cluster.node.service_time";
+
+/// Sketch name: per-node dispatcher queue depth, sampled once per
+/// round into the node's labeled scope.
+pub const SKETCH_QUEUE_DEPTH: &str = "cluster.node.queue_depth";
+
+/// Span-id base shift for node tracers in a fleet-merged trace: node
+/// `i` allocates span ids from `(i + 1) << NODE_SPAN_BASE_SHIFT`
+/// while the fleet (dispatcher) tracer keeps the default base 0, so
+/// stitched parent/child edges stay unambiguous across nodes.
+pub const NODE_SPAN_BASE_SHIFT: u32 = 40;
+
+fn node_span_base(node: u32) -> u64 {
+    (u64::from(node) + 1) << NODE_SPAN_BASE_SHIFT
+}
 
 /// A scripted whole-node outage: the node goes silent (does not step,
 /// pull, or renew its lease) during `[start, start + rounds)`.
@@ -188,6 +211,11 @@ pub struct ClusterRoundReport {
     pub migrations: Vec<MigrationRecord>,
     /// Disks fleet-wide that overran the round.
     pub late_disks: u32,
+    /// Per node, this round's per-disk service-time samples — exactly
+    /// what was fed into the node's labeled quantile sketch. Empty for
+    /// nodes that did not step (failed or in outage), so the
+    /// concatenation over rounds reproduces the fleet-merged sketch.
+    pub node_service_times: Vec<Vec<f64>>,
 }
 
 /// A point-in-time fleet summary.
@@ -248,6 +276,27 @@ pub struct Cluster {
     outage_glitches: u64,
     migrations_total: u64,
     metrics: ClusterMetrics,
+    /// Per-node labeled quantile sketches (service time, queue depth)
+    /// plus their exact fleet-level merge. Always on: recording is a
+    /// pure in-memory fold, and the catalog must not depend on flags.
+    sketches: SketchFleet,
+    /// The fleet (dispatcher) tracer; `None` until
+    /// [`Cluster::enable_tracing`].
+    tracer: Option<Tracer>,
+    /// seq → the root span minted at submission, adopted by every
+    /// host the stream lands on (tracing only).
+    stream_roots: BTreeMap<u64, SpanContext>,
+    /// seq → the round the stream (re-)entered a queue, for queue-wait
+    /// span durations (tracing only).
+    queued_at: BTreeMap<u64, u64>,
+    /// Per-node flight-recorder handles (clones of the recorders
+    /// attached to the servers), for correlated fleet dumps.
+    recorders: Vec<Option<Recorder>>,
+    /// Fleet postmortem directory; node bundles dump into
+    /// `node-{i}/` subdirectories beneath it.
+    fleet_dir: Option<PathBuf>,
+    /// Fleet manifests written so far, one per distinct trigger kind.
+    fleet_dumps: Vec<(DumpTrigger, PathBuf)>,
 }
 
 impl Cluster {
@@ -309,6 +358,10 @@ impl Cluster {
         metrics.nodes.set(f64::from(cfg.nodes));
         metrics.nodes_available.set(f64::from(cfg.nodes));
         metrics.p_error_bound.set(guarantee.p_error_stream);
+        let mut sketches = SketchFleet::with_nodes(cfg.nodes);
+        sketches.declare_all(SKETCH_SERVICE_TIME);
+        sketches.declare_all(SKETCH_QUEUE_DEPTH);
+        let recorders = (0..cfg.nodes).map(|_| None).collect();
         Ok(Self {
             cfg,
             guarantee,
@@ -328,7 +381,142 @@ impl Cluster {
             outage_glitches: 0,
             migrations_total: 0,
             metrics,
+            sketches,
+            tracer: None,
+            stream_roots: BTreeMap::new(),
+            queued_at: BTreeMap::new(),
+            recorders,
+            fleet_dir: None,
+            fleet_dumps: Vec::new(),
         })
+    }
+
+    /// One round expressed in trace microseconds (logical time: round
+    /// index × round length, never wall-clock).
+    fn round_us(&self) -> u64 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let us = (self.cfg.node.round_length * 1e6) as u64;
+        us.max(1)
+    }
+
+    /// Enable cross-node trace stitching: a fleet tracer at the
+    /// dispatcher (span base 0) mints one root span per stream at
+    /// submission, and every node's server records its spans under
+    /// that root with ids rebased to `(node + 1) << 40` — so one
+    /// Chrome trace holds a migrated stream's whole causal chain
+    /// (submit → queue → lease-expire → requeue → admit → rounds)
+    /// across hosts, under one trace id (the stream's seq).
+    ///
+    /// Call before the first round; re-enables each node's SLO layer
+    /// with tracing on.
+    ///
+    /// # Errors
+    /// Propagates per-node server configuration errors.
+    pub fn enable_tracing(&mut self) -> Result<(), ClusterError> {
+        for node in &mut self.nodes {
+            let base = node_span_base(node.id());
+            node.enable_tracing(base)?;
+        }
+        self.tracer = Some(Tracer::new());
+        Ok(())
+    }
+
+    /// Attach per-node flight recorders dumping under
+    /// `settings.out_dir/node-{i}/` (each node's `config_echo` gains
+    /// a `node` key), and arm the fleet-level triggers — lease-expiry
+    /// storm, composed-budget breach, fleet fast-burn — that dump
+    /// *all* node bundles plus a fleet `MANIFEST.json` keyed by the
+    /// logical round (see [`mzd_prof::write_fleet_manifest`]).
+    pub fn attach_recorders(&mut self, settings: &RecorderSettings) {
+        self.fleet_dir = Some(settings.out_dir.clone());
+        for node in &mut self.nodes {
+            let i = node.id();
+            let mut s = settings.clone();
+            s.out_dir = settings.out_dir.join(format!("node-{i}"));
+            s.config_echo.push(("node".into(), i.to_string()));
+            let recorder = Recorder::new(s);
+            self.recorders[i as usize] = Some(recorder.clone());
+            node.attach_recorder(recorder);
+        }
+    }
+
+    /// The fleet sketch registry: per-node labeled quantile sketches
+    /// and their exact merge (see [`SketchFleet::render_prom`]).
+    #[must_use]
+    pub fn sketches(&self) -> &SketchFleet {
+        &self.sketches
+    }
+
+    /// Fleet postmortem manifests written so far (one per distinct
+    /// trigger kind).
+    #[must_use]
+    pub fn fleet_dumps(&self) -> &[(DumpTrigger, PathBuf)] {
+        &self.fleet_dumps
+    }
+
+    /// Force a correlated fleet dump now (e.g. `--dump-on-exit`).
+    /// Returns the fleet manifest path, or `None` without attached
+    /// recorders or when this trigger kind already dumped.
+    pub fn trigger_fleet_dump(&mut self, trigger: DumpTrigger) -> Option<PathBuf> {
+        let before = self.fleet_dumps.len();
+        self.fleet_dump(trigger, self.round);
+        (self.fleet_dumps.len() > before).then(|| self.fleet_dumps[before].1.clone())
+    }
+
+    /// Dump every node's retained flight-recorder window and write the
+    /// fleet manifest correlating them, keyed by logical `round`. The
+    /// *first* fleet trigger owns `dir/MANIFEST.json` — later triggers
+    /// are no-ops, so the root incident's correlation is never
+    /// overwritten (and `--dump-on-exit` only fires when no incident
+    /// did). A no-op without [`Cluster::attach_recorders`]. I/O
+    /// failures are swallowed — postmortems are best-effort and must
+    /// never perturb the round loop.
+    fn fleet_dump(&mut self, trigger: DumpTrigger, round: u64) {
+        let Some(dir) = self.fleet_dir.clone() else {
+            return;
+        };
+        if !self.fleet_dumps.is_empty() {
+            return;
+        }
+        let mut entries: Vec<(u32, Option<PathBuf>)> = Vec::with_capacity(self.recorders.len());
+        for (i, recorder) in self.recorders.iter().enumerate() {
+            let path = recorder
+                .as_ref()
+                .and_then(|r| match r.trigger_dump(trigger) {
+                    Ok(Some(p)) => Some(p),
+                    // Empty ring, dump cap, or the node's own hook (e.g.
+                    // its local fast-burn path) already dumped this kind:
+                    // reuse that bundle so the fleet manifest still
+                    // correlates it.
+                    _ => r
+                        .dumps()
+                        .into_iter()
+                        .find(|(t, _)| *t == trigger)
+                        .map(|(_, p)| p),
+                });
+            entries.push((i as u32, path));
+        }
+        if let Ok(path) = mzd_prof::write_fleet_manifest(&dir, trigger, round, &entries) {
+            self.fleet_dumps.push((trigger, path));
+        }
+    }
+
+    /// Merged fleet trace: the dispatcher tracer's spans followed by
+    /// every node's, in node order, rendered as one Chrome
+    /// trace-event JSON object. `None` until
+    /// [`Cluster::enable_tracing`].
+    #[must_use]
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        let tracer = self.tracer.as_ref()?;
+        let mut events: Vec<mzd_slo::TraceEvent> = tracer.events().to_vec();
+        let mut dropped = tracer.dropped();
+        for node in &self.nodes {
+            if let Some(node_events) = node.server().trace_events() {
+                events.extend_from_slice(node_events);
+            }
+            dropped += node.server().trace_dropped();
+        }
+        Some(mzd_slo::render_chrome_json(&events, dropped))
     }
 
     /// The composed fleet guarantee this cluster enforces.
@@ -419,6 +607,16 @@ impl Cluster {
             },
         );
         self.metrics.submitted.inc();
+        // Mint the stream's root span at submission: every host it
+        // lands on adopts this context, so the whole fleet itinerary
+        // is one causal chain under trace id `seq`.
+        let ts = self.round * self.round_us();
+        if let Some(tracer) = self.tracer.as_mut() {
+            let root = tracer.root(seq);
+            tracer.record("fleet.submit", "fleet", 0, seq, ts, 1, root, &[]);
+            self.stream_roots.insert(seq, root);
+            self.queued_at.insert(seq, self.round);
+        }
         let pending = Pending {
             seq,
             object,
@@ -477,6 +675,8 @@ impl Cluster {
     /// Finish bookkeeping for a stream that completed play-out.
     fn finish_stream(&mut self, seq: u64) -> ClusterCompletedStream {
         let meta = self.meta.remove(&seq).expect("completed stream has meta");
+        self.stream_roots.remove(&seq);
+        self.queued_at.remove(&seq);
         let record = ClusterCompletedStream {
             seq,
             glitches: meta.glitches,
@@ -492,10 +692,12 @@ impl Cluster {
     /// order, so the loop is deterministic for any worker count.
     pub fn run_round(&mut self) -> ClusterRoundReport {
         let round = self.round;
+        let round_us = self.round_us();
         let n = self.cfg.nodes;
         let operational: Vec<bool> = (0..n).map(|i| self.is_operational(i, round)).collect();
         let mut report = ClusterRoundReport {
             round,
+            node_service_times: vec![Vec::new(); n as usize],
             ..ClusterRoundReport::default()
         };
 
@@ -524,15 +726,19 @@ impl Cluster {
                 continue;
             }
             while self.dispatcher.peek(i).is_some() {
-                let node = &mut self.nodes[i as usize];
                 if !matches!(
-                    self.admission.decide(&node.per_disk_load()),
+                    self.admission
+                        .decide(&self.nodes[i as usize].per_disk_load()),
                     AdmissionDecision::Admit
                 ) {
                     break;
                 }
                 let pending = self.dispatcher.pull(i).expect("peeked entry");
-                match node.try_open(pending.object.clone()) {
+                // Hand the submission-time root to the adopting node:
+                // its admit/round spans stitch under it.
+                let root = self.stream_roots.get(&pending.seq).copied();
+                let node = &mut self.nodes[i as usize];
+                match node.try_open_traced(pending.object.clone(), root) {
                     Some(local_id) => {
                         if pending.migrated {
                             // Riding the degradation ladder: the
@@ -546,6 +752,20 @@ impl Cluster {
                         meta.glitches = meta.glitches.max(pending.carried_glitches);
                         report.admitted += 1;
                         self.metrics.admitted.inc();
+                        if let (Some(tracer), Some(root)) = (self.tracer.as_mut(), root) {
+                            let queued = self.queued_at.remove(&pending.seq).unwrap_or(round);
+                            let ctx = tracer.child(&root);
+                            tracer.record(
+                                "fleet.queue.wait",
+                                "fleet",
+                                0,
+                                pending.seq,
+                                queued * round_us,
+                                (round - queued) * round_us,
+                                ctx,
+                                &[("node", u64::from(i))],
+                            );
+                        }
                     }
                     None => {
                         // Node backstop refused (should not out-admit
@@ -586,6 +806,15 @@ impl Cluster {
             self.lease.renew(i, round);
             self.metrics.lease_renewals.inc();
             report.late_disks += node_report.late_disks;
+            // Feed the fleet observability plane: one service-time
+            // sample per disk into the node's labeled sketch, merged
+            // exactly at exposition time.
+            for &service_time in &node_report.disk_service_times {
+                self.sketches
+                    .node_mut(i)
+                    .record(SKETCH_SERVICE_TIME, service_time);
+            }
+            report.node_service_times[i as usize] = node_report.disk_service_times;
             for local in node_report.glitched {
                 let seq = self.by_host[&(i, local)];
                 self.meta
@@ -658,6 +887,22 @@ impl Cluster {
                 }
                 let meta = self.meta.get_mut(&seq).expect("evacuated stream meta");
                 meta.migrations += 1;
+                if let Some(tracer) = self.tracer.as_mut() {
+                    if let Some(root) = self.stream_roots.get(&seq) {
+                        let ctx = tracer.child(root);
+                        tracer.record(
+                            "fleet.lease.expire",
+                            "fleet",
+                            0,
+                            seq,
+                            round * round_us,
+                            1,
+                            ctx,
+                            &[("node", u64::from(failed))],
+                        );
+                    }
+                    self.queued_at.insert(seq, round);
+                }
                 let pending = Pending {
                     seq,
                     object: ObjectSpec {
@@ -672,12 +917,29 @@ impl Cluster {
                 self.metrics.requeued.inc();
                 let views = self.views();
                 match self.dispatcher.route(pending, &views, &self.placement) {
-                    Ok(to) => report.migrations.push(MigrationRecord {
-                        seq,
-                        from: failed,
-                        to,
-                        remaining_rounds: remaining,
-                    }),
+                    Ok(to) => {
+                        if let Some(tracer) = self.tracer.as_mut() {
+                            if let Some(root) = self.stream_roots.get(&seq) {
+                                let ctx = tracer.child(root);
+                                tracer.record(
+                                    "fleet.requeue",
+                                    "fleet",
+                                    0,
+                                    seq,
+                                    round * round_us,
+                                    1,
+                                    ctx,
+                                    &[("to", u64::from(to))],
+                                );
+                            }
+                        }
+                        report.migrations.push(MigrationRecord {
+                            seq,
+                            from: failed,
+                            to,
+                            remaining_rounds: remaining,
+                        });
+                    }
                     Err(p) => self.unrouted.push(p),
                 }
             }
@@ -702,6 +964,33 @@ impl Cluster {
         self.metrics
             .queue_depth
             .record(self.dispatcher.queued_total() as f64);
+        #[allow(clippy::cast_precision_loss)]
+        for i in 0..n {
+            self.sketches
+                .node_mut(i)
+                .record(SKETCH_QUEUE_DEPTH, self.dispatcher.queue_len(i) as f64);
+        }
+
+        // Correlated fleet postmortems: fleet-level triggers capture
+        // every node's retained window around the same logical round.
+        if !report.failed_nodes.is_empty() {
+            self.fleet_dump(DumpTrigger::LeaseExpiryStorm, round);
+        }
+        if report
+            .completed
+            .iter()
+            .any(|c| c.glitches >= self.guarantee.g)
+        {
+            self.fleet_dump(DumpTrigger::BudgetBreach, round);
+        }
+        if self
+            .nodes
+            .iter()
+            .any(|node| node.server().slo_status().is_some_and(|s| s.alert_active))
+        {
+            self.fleet_dump(DumpTrigger::SloFastBurn, round);
+        }
+
         self.round += 1;
         report
     }
@@ -863,6 +1152,138 @@ mod tests {
         }
         assert_eq!(revived_at, Some((5, vec![0])), "outage [2,5) revives at 5");
         assert_eq!(fleet.status().live_nodes, 2);
+    }
+
+    fn failing_fleet_with(seed: u64, setup: impl Fn(&mut Cluster)) -> Cluster {
+        let mut cfg = ClusterConfig::paper_reference(3, 1).unwrap();
+        cfg.lease_rounds = 2;
+        cfg.outages.push(NodeOutage {
+            node: 1,
+            start: 4,
+            rounds: 50,
+        });
+        let mut fleet = Cluster::new(cfg, seed).unwrap();
+        setup(&mut fleet);
+        for _ in 0..24 {
+            fleet.submit(small_object(200)).unwrap();
+        }
+        fleet
+    }
+
+    fn failing_fleet(seed: u64) -> Cluster {
+        failing_fleet_with(seed, |_| ())
+    }
+
+    #[test]
+    fn tracing_stitches_a_migrated_stream_across_nodes() {
+        let run = || {
+            let mut fleet = failing_fleet_with(9, |f| f.enable_tracing().unwrap());
+            let mut migrated = Vec::new();
+            for _ in 0..10 {
+                let r = fleet.run_round();
+                migrated.extend(r.migrations);
+            }
+            (fleet, migrated)
+        };
+        let (fleet, migrated) = run();
+        assert!(!migrated.is_empty(), "the outage must migrate streams");
+        let json = fleet.trace_chrome_json().unwrap();
+        for name in [
+            "fleet.submit",
+            "fleet.queue.wait",
+            "fleet.lease.expire",
+            "fleet.requeue",
+        ] {
+            assert!(json.contains(name), "missing {name} span");
+        }
+        // The whole chain shares the stream's seq as trace id, with
+        // spans on both hosts in their disjoint rebased id ranges.
+        let m = &migrated[0];
+        let spans_on = |node: u32| {
+            let base = node_span_base(node);
+            fleet
+                .node(node)
+                .server()
+                .trace_events()
+                .unwrap()
+                .iter()
+                .filter(|e| e.ctx.trace == m.seq)
+                .map(|e| e.ctx.span)
+                .filter(|&s| s > base && s <= base + (1 << NODE_SPAN_BASE_SHIFT))
+                .count()
+        };
+        assert!(spans_on(m.from) > 0, "origin host recorded no spans");
+        assert!(spans_on(m.to) > 0, "adopting host recorded no spans");
+        let fleet_spans = fleet
+            .tracer
+            .as_ref()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| e.ctx.trace == m.seq)
+            .count();
+        assert!(fleet_spans >= 4, "submit/queue/expire/requeue spans");
+        // Byte-stable across reruns.
+        assert_eq!(json, run().0.trace_chrome_json().unwrap());
+    }
+
+    #[test]
+    fn sketches_record_service_time_and_queue_depth_per_node() {
+        let mut fleet = failing_fleet(13);
+        for _ in 0..6 {
+            fleet.run_round();
+        }
+        let sketches = fleet.sketches();
+        let per_node: u64 = (0..3)
+            .map(|i| {
+                sketches
+                    .node(i)
+                    .sketch(SKETCH_SERVICE_TIME)
+                    .unwrap()
+                    .count()
+            })
+            .sum();
+        assert!(per_node > 0, "service-time sketches must fill");
+        assert_eq!(sketches.merged(SKETCH_SERVICE_TIME).count(), per_node);
+        // Queue depth: one sample per node per round.
+        assert_eq!(sketches.merged(SKETCH_QUEUE_DEPTH).count(), 3 * 6);
+        let text = sketches.render_prom();
+        assert!(text.contains("mzd_cluster_node_service_time_bucket{node=\"0\""));
+        assert!(text.contains("mzd_cluster_node_service_time_fleet{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn lease_expiry_storm_dumps_a_correlated_fleet_bundle() {
+        let dir = std::env::temp_dir().join(format!("mzd_cluster_pm_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fleet = failing_fleet(9);
+        fleet.attach_recorders(&RecorderSettings::new(&dir));
+        let mut failed = false;
+        for _ in 0..10 {
+            failed |= !fleet.run_round().failed_nodes.is_empty();
+        }
+        assert!(failed, "the outage must expire a lease");
+        let dumps = fleet.fleet_dumps();
+        assert!(
+            dumps
+                .iter()
+                .any(|(t, _)| *t == DumpTrigger::LeaseExpiryStorm),
+            "missing lease-expiry-storm fleet dump: {dumps:?}"
+        );
+        let bundle = mzd_prof::read_fleet_bundle(&dir).unwrap();
+        assert_eq!(bundle.trigger, "lease.expiry_storm");
+        assert_eq!(bundle.round, 5, "keyed by the logical failure round");
+        assert_eq!(bundle.entries.len(), 3);
+        // Every node that ran rounds contributed a verified bundle
+        // echoing its node id.
+        for (i, node_bundle) in bundle.nodes.iter().enumerate() {
+            let b = node_bundle.as_ref().expect("every node recorded rounds");
+            assert_eq!(b.config_value("node"), Some(i.to_string().as_str()));
+        }
+        // A forced manual dump (e.g. --dump-on-exit) still works and
+        // dedupes per trigger kind.
+        assert!(fleet.trigger_fleet_dump(DumpTrigger::Manual).is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

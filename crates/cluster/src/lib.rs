@@ -64,7 +64,8 @@ pub mod placement;
 
 pub use cluster::{
     Cluster, ClusterCompletedStream, ClusterConfig, ClusterRoundReport, ClusterStatus,
-    MigrationRecord, NodeOutage, SubmitOutcome,
+    MigrationRecord, NodeOutage, SubmitOutcome, NODE_SPAN_BASE_SHIFT, SKETCH_QUEUE_DEPTH,
+    SKETCH_SERVICE_TIME,
 };
 pub use dispatcher::{Dispatcher, LeaseTable, NodeView, Pending};
 pub use guarantee::ClusterGuarantee;

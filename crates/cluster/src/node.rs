@@ -22,6 +22,10 @@ pub struct NodeRoundReport {
     pub completed: Vec<u64>,
     /// Disks that overran the round.
     pub late_disks: u32,
+    /// Per-disk sweep service times this round (seconds), in disk
+    /// order — the samples the fleet observability plane feeds into
+    /// its per-node quantile sketches.
+    pub disk_service_times: Vec<f64>,
 }
 
 /// One stream pulled off a failed node, with enough state to resume it
@@ -107,6 +111,45 @@ impl ServerNode {
     pub fn server(&self) -> &VideoServer {
         &self.server
     }
+
+    /// Enable causal span tracing on the wrapped server, rebasing its
+    /// span-id allocator at `span_base` so a fleet-merged trace keeps
+    /// every node's ids disjoint (node `i` at `(i + 1) << 40` by
+    /// cluster convention). Re-enables the SLO layer with tracing on;
+    /// call before the first round.
+    ///
+    /// # Errors
+    /// Propagates server configuration errors from the SLO layer.
+    pub fn enable_tracing(&mut self, span_base: u64) -> Result<(), ClusterError> {
+        let target = self.server.config().target;
+        self.server
+            .enable_slo(SloSettings::for_target(target).with_tracing(true))?;
+        self.server.set_trace_span_base(span_base);
+        Ok(())
+    }
+
+    /// Attach a flight recorder to the wrapped server (the server
+    /// pushes one [`mzd_prof::RoundSnapshot`] per round into it).
+    pub fn attach_recorder(&mut self, recorder: mzd_prof::Recorder) {
+        self.server.attach_recorder(recorder);
+    }
+
+    /// [`Node::try_open`] with an externally minted root span adopted
+    /// for the stream — how the dispatcher's submission-time
+    /// [`mzd_telemetry::SpanContext`] stitches into this node's trace
+    /// so a migrated stream stays one causal chain across hosts.
+    pub fn try_open_traced(
+        &mut self,
+        object: ObjectSpec,
+        root: Option<mzd_telemetry::SpanContext>,
+    ) -> Option<u64> {
+        let handle = match root {
+            Some(root) => self.server.open_stream_with_root(object, root).ok()?,
+            None => self.server.open_stream(object).ok()?,
+        };
+        self.handles.insert(handle.id(), handle);
+        Some(handle.id())
+    }
 }
 
 impl Node for ServerNode {
@@ -127,9 +170,7 @@ impl Node for ServerNode {
     }
 
     fn try_open(&mut self, object: ObjectSpec) -> Option<u64> {
-        let handle = self.server.open_stream(object).ok()?;
-        self.handles.insert(handle.id(), handle);
-        Some(handle.id())
+        self.try_open_traced(object, None)
     }
 
     fn mark_degradable(&mut self, local_id: u64) -> bool {
@@ -145,9 +186,10 @@ impl Node for ServerNode {
             self.handles.remove(id);
         }
         NodeRoundReport {
+            late_disks: report.disks.iter().filter(|d| d.late).count() as u32,
+            disk_service_times: report.disks.iter().map(|d| d.service_time).collect(),
             glitched: report.glitched_streams,
             completed: report.completed_streams,
-            late_disks: report.disks.iter().filter(|d| d.late).count() as u32,
         }
     }
 

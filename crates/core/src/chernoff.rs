@@ -31,9 +31,12 @@ fn chernoff_metrics() -> &'static (mzd_telemetry::Histogram, mzd_telemetry::Coun
     static METRICS: OnceLock<(mzd_telemetry::Histogram, mzd_telemetry::Counter)> = OnceLock::new();
     METRICS.get_or_init(|| {
         let g = mzd_telemetry::global();
+        // Execution-scoped: how many evaluations the minimizer spends
+        // (and which candidate points get evaluated at all) depends on
+        // parallel range splitting, not on the modeled system.
         (
-            g.histogram("core.chernoff.iterations"),
-            g.counter("core.chernoff.converge_fail"),
+            g.execution_histogram("core.chernoff.iterations"),
+            g.execution_counter("core.chernoff.converge_fail"),
         )
     })
 }

@@ -35,9 +35,11 @@ fn saddlepoint_metrics() -> &'static (mzd_telemetry::Histogram, mzd_telemetry::C
     static METRICS: OnceLock<(mzd_telemetry::Histogram, mzd_telemetry::Counter)> = OnceLock::new();
     METRICS.get_or_init(|| {
         let g = mzd_telemetry::global();
+        // Execution-scoped, like the Chernoff metrics: root-finder
+        // effort varies with parallel range splitting.
         (
-            g.histogram("core.saddlepoint.iterations"),
-            g.counter("core.saddlepoint.converge_fail"),
+            g.execution_histogram("core.saddlepoint.iterations"),
+            g.execution_counter("core.saddlepoint.converge_fail"),
         )
     })
 }

@@ -32,7 +32,9 @@
 //!
 //! Counters `par.groups`, `par.tasks`, `par.steals` and histogram
 //! `par.worker.busy_seconds` land in the [`mzd_telemetry::global`]
-//! registry.
+//! registry, marked execution-scoped: their values depend on the
+//! worker count and wall clock, so the deterministic Prometheus
+//! exposition skips them (they stay in the JSON snapshot).
 
 #![warn(missing_docs)]
 

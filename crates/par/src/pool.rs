@@ -242,7 +242,7 @@ fn run_ticket(ticket: &Ticket) {
     let start = std::time::Instant::now();
     ticket.group.work(ticket.worker);
     mzd_telemetry::global()
-        .histogram("par.worker.busy_seconds")
+        .execution_histogram("par.worker.busy_seconds")
         .record(start.elapsed().as_secs_f64());
 }
 
@@ -262,12 +262,14 @@ pub(crate) fn run_group(workers: usize, len: usize, task: &(dyn Fn(usize) + Sync
         let _caller = CallerGuard(&group);
         group.work(0);
     }
+    // Execution-scoped: group/task/steal tallies depend on how work was
+    // split across workers, i.e. on the `--jobs` width.
     let telemetry = mzd_telemetry::global();
-    telemetry.counter("par.groups").inc();
-    telemetry.counter("par.tasks").add(len as u64);
+    telemetry.execution_counter("par.groups").inc();
+    telemetry.execution_counter("par.tasks").add(len as u64);
     let steals = group.steals.load(Ordering::Relaxed);
     if steals > 0 {
-        telemetry.counter("par.steals").add(steals);
+        telemetry.execution_counter("par.steals").add(steals);
     }
 }
 

@@ -29,10 +29,14 @@
 #![warn(missing_docs)]
 
 mod flame;
+mod fleet;
 mod profile;
 mod recorder;
 
 pub use flame::render_flame_svg;
+pub use fleet::{
+    read_fleet_bundle, write_fleet_manifest, FleetBundle, FleetNodeEntry, FLEET_SCHEMA,
+};
 pub use profile::{collapsed, phase, profiling_enabled, reset_profile, set_profiling, PhaseGuard};
 pub use recorder::{
     fnv1a64, install_panic_hook, read_bundle, Bundle, DiskPhases, DumpTrigger, FaultTotals,

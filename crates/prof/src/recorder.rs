@@ -31,6 +31,13 @@ pub enum DumpTrigger {
     RoundOverrun,
     /// A panic unwound through the installed hook.
     Panic,
+    /// A fleet declared one or more node leases expired this round (a
+    /// lease expiry storm — every node's recorder dumps so the outage
+    /// window is auditable from all vantage points).
+    LeaseExpiryStorm,
+    /// A stream exhausted the composed fleet glitch budget `g` this
+    /// round (the per-stream bound the cluster admits against).
+    BudgetBreach,
     /// Explicit request (CLI `--dump-on-exit`, tests).
     Manual,
 }
@@ -44,6 +51,8 @@ impl DumpTrigger {
             DumpTrigger::DegradeEscalation => "degrade.escalated",
             DumpTrigger::RoundOverrun => "round.overrun",
             DumpTrigger::Panic => "panic",
+            DumpTrigger::LeaseExpiryStorm => "lease.expiry_storm",
+            DumpTrigger::BudgetBreach => "budget.breach",
             DumpTrigger::Manual => "manual",
         }
     }
@@ -56,6 +65,8 @@ impl DumpTrigger {
             "degrade.escalated" => DumpTrigger::DegradeEscalation,
             "round.overrun" => DumpTrigger::RoundOverrun,
             "panic" => DumpTrigger::Panic,
+            "lease.expiry_storm" => DumpTrigger::LeaseExpiryStorm,
+            "budget.breach" => DumpTrigger::BudgetBreach,
             "manual" => DumpTrigger::Manual,
             _ => return None,
         })
@@ -786,6 +797,8 @@ mod tests {
             DumpTrigger::DegradeEscalation,
             DumpTrigger::RoundOverrun,
             DumpTrigger::Panic,
+            DumpTrigger::LeaseExpiryStorm,
+            DumpTrigger::BudgetBreach,
             DumpTrigger::Manual,
         ] {
             assert_eq!(DumpTrigger::parse(t.as_str()), Some(t));

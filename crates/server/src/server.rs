@@ -479,6 +479,34 @@ impl VideoServer {
             .map(Tracer::to_chrome_json)
     }
 
+    /// Rebase this server's span-id allocation (see
+    /// [`Tracer::set_span_base`]). A cluster assigns each node a
+    /// disjoint id range so stitched fleet traces keep every
+    /// parent/span edge unambiguous. No-op unless tracing is enabled;
+    /// call before any stream opens.
+    pub fn set_trace_span_base(&mut self, base: u64) {
+        if let Some(tracer) = self.slo.as_mut().and_then(|s| s.tracer.as_mut()) {
+            tracer.set_span_base(base);
+        }
+    }
+
+    /// The raw recorded spans, `None` unless tracing is enabled — what
+    /// a fleet reads to stitch per-node traces into one file.
+    #[must_use]
+    pub fn trace_events(&self) -> Option<&[mzd_slo::TraceEvent]> {
+        self.slo.as_ref()?.tracer.as_ref().map(|t| t.events())
+    }
+
+    /// Spans dropped after the tracer's capacity was reached (0 when
+    /// tracing is off).
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.slo
+            .as_ref()
+            .and_then(|s| s.tracer.as_ref())
+            .map_or(0, Tracer::dropped)
+    }
+
     /// Logical time of the round about to run, in microseconds (round
     /// index × round length) — the tracer's clock.
     fn trace_now_us(&self) -> u64 {
@@ -652,6 +680,34 @@ impl VideoServer {
                 Err(reject)
             }
         }
+    }
+
+    /// [`Self::open_stream`] under an externally minted root span
+    /// context: the admission span and every subsequent round span of
+    /// the new stream hang off `root` instead of a locally created
+    /// root. This is the cluster's trace-stitching entry point — the
+    /// dispatcher mints one root per stream at submission and threads
+    /// it through queue, lease and migration onto whichever node
+    /// finally admits, so a migrated stream renders as one causal
+    /// chain. Behaves exactly like `open_stream` when tracing is off.
+    ///
+    /// # Errors
+    /// The admission rejection, exactly as [`Self::open_stream`].
+    pub fn open_stream_with_root(
+        &mut self,
+        object: ObjectSpec,
+        root: mzd_telemetry::SpanContext,
+    ) -> Result<StreamHandle, AdmissionDecision> {
+        if let Some(slo) = self.slo.as_mut() {
+            slo.stage_root(root);
+        }
+        let result = self.open_stream(object);
+        if result.is_err() {
+            if let Some(slo) = self.slo.as_mut() {
+                slo.clear_staged_root();
+            }
+        }
+        result
     }
 
     /// Enqueue a stream request instead of rejecting it: §1's alternative

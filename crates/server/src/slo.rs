@@ -142,6 +142,10 @@ pub(crate) struct SloState {
     pub tracer: Option<Tracer>,
     /// Root span per live stream (tracing only).
     stream_roots: HashMap<u64, SpanContext>,
+    /// An externally minted root to adopt for the *next* stream seen —
+    /// how a cluster dispatcher propagates its submission-time
+    /// `SpanContext` into this node's trace so cross-node chains stitch.
+    pending_root: Option<SpanContext>,
     pub metrics: SloMetrics,
 }
 
@@ -162,6 +166,7 @@ impl SloState {
             cdfs: HashMap::new(),
             tracer: settings.tracing.then(Tracer::new),
             stream_roots: HashMap::new(),
+            pending_root: None,
             metrics: SloMetrics::new(),
         })
     }
@@ -185,16 +190,37 @@ impl SloState {
         self.cdfs.clear();
     }
 
-    /// The root span context of a stream, created on first sight.
-    /// `None` when tracing is off.
+    /// The root span context of a stream: an externally staged root
+    /// ([`Self::stage_root`]) is adopted first, otherwise one is minted
+    /// on first sight. `None` when tracing is off.
     pub(crate) fn stream_root(&mut self, stream: u64) -> Option<SpanContext> {
         let tracer = self.tracer.as_mut()?;
-        Some(
-            *self
-                .stream_roots
-                .entry(stream)
-                .or_insert_with(|| tracer.root(stream)),
-        )
+        match self.stream_roots.entry(stream) {
+            std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let root = self
+                    .pending_root
+                    .take()
+                    .unwrap_or_else(|| tracer.root(stream));
+                Some(*e.insert(root))
+            }
+        }
+    }
+
+    /// Stage an externally minted root context to adopt for the next
+    /// stream that needs one (consumed by [`Self::stream_root`]). The
+    /// cluster dispatcher uses this to thread its submission-time span
+    /// through admission on whichever node the stream lands on.
+    pub(crate) fn stage_root(&mut self, root: SpanContext) {
+        if self.tracer.is_some() {
+            self.pending_root = Some(root);
+        }
+    }
+
+    /// Drop a staged root that was never adopted (the stream it was
+    /// minted for was rejected by admission).
+    pub(crate) fn clear_staged_root(&mut self) {
+        self.pending_root = None;
     }
 
     /// Drop the root context of a finished stream (the recorded spans

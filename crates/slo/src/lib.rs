@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use burn::{AlertTransition, BurnConfig, BurnRateEngine};
 pub use conformance::{ConformanceChecker, ConformanceConfig, DriftTransition};
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{render_chrome_json, TraceEvent, Tracer};
 
 /// Errors from SLO configuration.
 #[derive(Debug, Clone, PartialEq)]

@@ -72,6 +72,21 @@ impl Tracer {
         }
     }
 
+    /// Rebase span-id allocation to start at `base + 1`.
+    ///
+    /// A fleet runs one tracer per node plus one at the dispatcher; when
+    /// their spans are stitched into a single trace, ids allocated from
+    /// the default counter would collide across tracers. Each node's
+    /// tracer is rebased into a disjoint range (node `i` at
+    /// `(i + 1) << 40` by cluster convention, the fleet tracer at 0), so
+    /// a merged trace keeps every parent/span edge unambiguous.
+    ///
+    /// Call before any span is allocated; ids already handed out are not
+    /// rewritten.
+    pub fn set_span_base(&mut self, base: u64) {
+        self.next_span = self.next_span.max(base + 1);
+    }
+
     fn alloc_span_id(&mut self) -> u64 {
         let id = self.next_span;
         self.next_span += 1;
@@ -148,51 +163,61 @@ impl Tracer {
     /// (`{"traceEvents": [...], ...}`).
     #[must_use]
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::with_capacity(self.events.len() * 160 + 64);
-        out.push_str("{\"traceEvents\":[");
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("{\"name\":");
-            write_escaped(&mut out, &e.name);
-            out.push_str(",\"cat\":");
-            write_escaped(&mut out, e.cat);
-            out.push_str(",\"ph\":\"X\",\"ts\":");
-            out.push_str(&e.ts_us.to_string());
-            out.push_str(",\"dur\":");
-            out.push_str(&e.dur_us.to_string());
-            out.push_str(",\"pid\":");
-            out.push_str(&e.pid.to_string());
-            out.push_str(",\"tid\":");
-            out.push_str(&e.tid.to_string());
-            out.push_str(",\"args\":{\"trace\":");
-            out.push_str(&e.ctx.trace.to_string());
-            out.push_str(",\"span\":");
-            out.push_str(&e.ctx.span.to_string());
-            if let Some(parent) = e.ctx.parent {
-                out.push_str(",\"parent\":");
-                out.push_str(&parent.to_string());
-            }
-            for &(k, v) in &e.args {
-                out.push(',');
-                write_escaped(&mut out, k);
-                out.push(':');
-                // u64 args are written through the f64 path only when
-                // needed; integers render exactly.
-                if v <= (1u64 << 53) {
-                    out.push_str(&v.to_string());
-                } else {
-                    write_f64(&mut out, v as f64);
-                }
-            }
-            out.push_str("}}");
-        }
-        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":");
-        out.push_str(&self.dropped.to_string());
-        out.push_str("}}");
-        out
+        render_chrome_json(&self.events, self.dropped)
     }
+}
+
+/// Render an arbitrary span collection as one Chrome trace-event JSON
+/// object — the shared exporter behind [`Tracer::to_chrome_json`], and
+/// what a fleet uses to stitch several tracers' events (dispatcher +
+/// every node) into a single trace file. Events render in slice order;
+/// callers control that order for byte-stable output.
+#[must_use]
+pub fn render_chrome_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(&mut out, &e.name);
+        out.push_str(",\"cat\":");
+        write_escaped(&mut out, e.cat);
+        out.push_str(",\"ph\":\"X\",\"ts\":");
+        out.push_str(&e.ts_us.to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&e.dur_us.to_string());
+        out.push_str(",\"pid\":");
+        out.push_str(&e.pid.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(",\"args\":{\"trace\":");
+        out.push_str(&e.ctx.trace.to_string());
+        out.push_str(",\"span\":");
+        out.push_str(&e.ctx.span.to_string());
+        if let Some(parent) = e.ctx.parent {
+            out.push_str(",\"parent\":");
+            out.push_str(&parent.to_string());
+        }
+        for &(k, v) in &e.args {
+            out.push(',');
+            write_escaped(&mut out, k);
+            out.push(':');
+            // u64 args are written through the f64 path only when
+            // needed; integers render exactly.
+            if v <= (1u64 << 53) {
+                out.push_str(&v.to_string());
+            } else {
+                write_f64(&mut out, v as f64);
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":");
+    out.push_str(&dropped.to_string());
+    out.push_str("}}");
+    out
 }
 
 #[cfg(test)]
@@ -269,6 +294,59 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(3.0)
+        );
+    }
+
+    #[test]
+    fn span_base_partitions_id_ranges() {
+        let mut fleet = Tracer::new();
+        let mut node0 = Tracer::new();
+        let mut node2 = Tracer::new();
+        node0.set_span_base(1u64 << 40);
+        node2.set_span_base(3u64 << 40);
+        let root = fleet.root(9);
+        let a = node0.child(&root);
+        let b = node2.child(&root);
+        assert_eq!(root.span, 1);
+        assert_eq!(a.span, (1u64 << 40) + 1);
+        assert_eq!(b.span, (3u64 << 40) + 1);
+        assert_eq!(a.parent, Some(root.span));
+        assert_eq!(b.parent, Some(root.span));
+        // Rebasing never moves the counter backwards.
+        node2.set_span_base(0);
+        assert_eq!(node2.child(&root).span, (3u64 << 40) + 2);
+    }
+
+    #[test]
+    fn merged_events_render_as_one_trace() {
+        let mut fleet = Tracer::new();
+        let mut node = Tracer::new();
+        node.set_span_base(1u64 << 40);
+        let root = fleet.root(5);
+        fleet.record("fleet.submit", "cluster", 0, 5, 0, 1, root, &[]);
+        let admit = node.child(&root);
+        node.record("admit", "admission", 1, 5, 10, 1, admit, &[]);
+        let mut merged: Vec<TraceEvent> = fleet.events().to_vec();
+        merged.extend_from_slice(node.events());
+        let text = render_chrome_json(&merged, fleet.dropped() + node.dropped());
+        let parsed = json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        // Both spans carry the same trace id and a connected parent edge.
+        for e in events {
+            assert_eq!(
+                e.get("args").unwrap().get("trace").unwrap().as_f64(),
+                Some(5.0)
+            );
+        }
+        assert_eq!(
+            events[1]
+                .get("args")
+                .unwrap()
+                .get("parent")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
         );
     }
 

@@ -56,7 +56,8 @@ mod span;
 
 pub use event::{emit, events_enabled, set_sink, Event, EventSink};
 pub use registry::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, QUANTILE_LABELS,
+    geometry, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    QUANTILE_LABELS,
 };
 pub use span::{Span, SpanContext};
 
@@ -72,6 +73,6 @@ pub use span::{Span, SpanContext};
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
-        $crate::Span::enter($crate::global().histogram($name))
+        $crate::Span::enter($crate::global().execution_histogram($name))
     };
 }

@@ -8,11 +8,15 @@
 //! underscore form on the way out (`sim.round.service_time` →
 //! `mzd_sim_round_service_time`).
 //!
-//! The output is a pure function of the registry state: names are
-//! sorted, no timestamps are emitted, and float formatting uses Rust's
-//! shortest round-trip representation — so equal registries expose
-//! byte-identical text (the property the CLI's `--prom-out` snapshots
-//! rely on).
+//! The output is a pure function of the registry's *logical-time*
+//! state: names are sorted, no timestamps are emitted, float
+//! formatting uses Rust's shortest round-trip representation, and
+//! series marked execution-scoped ([`Registry::execution_histogram`] /
+//! [`Registry::execution_counter`] — span timers, scheduler effort,
+//! solver iteration tallies) are excluded — so seeded equal runs
+//! expose byte-identical text at any `--jobs` width (the property the
+//! CLI's `--prom-out` snapshots rely on). Execution-scoped series
+//! remain visible in the JSON snapshot.
 
 use crate::registry::Registry;
 use std::fmt::Write as _;
@@ -33,6 +37,48 @@ pub fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// Escape a label *value* for the exposition format: backslash, double
+/// quote and newline are the three characters the format reserves
+/// (`\\`, `\"`, `\n`); everything else passes through verbatim.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set as `{k="v",...}` with values escaped, or an
+/// empty string for no labels. Label *names* are sanitized to the
+/// exposition alphabet; pairs are emitted in the order given (callers
+/// keep them sorted for byte-stable output).
+#[must_use]
+pub fn render_label_set(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        for c in k.chars() {
+            out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+        }
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// Format a sample value: finite floats use the shortest round-trip
 /// form, non-finite values use the exposition spellings.
 fn write_value(out: &mut String, v: f64) {
@@ -47,6 +93,17 @@ fn write_value(out: &mut String, v: f64) {
     }
 }
 
+/// A sample value as the exposition spells it: shortest round-trip for
+/// finite floats, `NaN`/`+Inf`/`-Inf` otherwise. The one formatter
+/// every exposition writer in the workspace shares, so labeled series
+/// rendered outside this module stay byte-compatible with [`render`].
+#[must_use]
+pub fn format_value(v: f64) -> String {
+    let mut s = String::new();
+    write_value(&mut s, v);
+    s
+}
+
 /// Render `registry` in Prometheus text exposition format.
 ///
 /// Histogram `_bucket` series are cumulative; bounds whose bucket is
@@ -58,6 +115,12 @@ pub fn render(registry: &Registry) -> String {
     let snapshot = registry.snapshot();
     let mut out = String::with_capacity(4096);
     for (name, value) in &snapshot.counters {
+        if registry.is_execution_scoped(name) {
+            // Scheduler-effort counts vary with the `--jobs` width;
+            // emitting them would break the exposition's byte-identity
+            // across job counts.
+            continue;
+        }
         let n = sanitize_name(name);
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {value}");
@@ -70,6 +133,13 @@ pub fn render(registry: &Registry) -> String {
         out.push('\n');
     }
     for (name, histogram) in registry.histogram_entries() {
+        if registry.is_execution_scoped(&name) {
+            // Span timers carry real elapsed time and solver iteration
+            // tallies vary with parallel range splitting; emitting them
+            // would break the exposition's byte-identity across reruns
+            // and job counts.
+            continue;
+        }
         let n = sanitize_name(&name);
         let count = histogram.count();
         let _ = writeln!(out, "# TYPE {n} histogram");
@@ -183,5 +253,68 @@ mod tests {
         let r = Registry::new();
         r.counter("x.y").inc();
         assert_eq!(render(&r), render(&r));
+    }
+
+    #[test]
+    fn execution_scoped_series_are_excluded() {
+        let r = Registry::new();
+        r.histogram("sim.round.service_time").record(0.5);
+        r.counter("sim.rounds").inc();
+        r.execution_histogram("core.chernoff.minimize")
+            .record(0.000_8);
+        r.execution_counter("par.steals").add(17);
+        assert!(r.is_execution_scoped("core.chernoff.minimize"));
+        assert!(r.is_execution_scoped("par.steals"));
+        assert!(!r.is_execution_scoped("sim.round.service_time"));
+        let text = render(&r);
+        validate(&text);
+        assert!(text.contains("mzd_sim_round_service_time_bucket"));
+        assert!(text.contains("mzd_sim_rounds 1"));
+        // Wall-clock time and jobs-dependent effort counts have no
+        // place in byte-identical output; both series stay in the JSON
+        // snapshot only.
+        assert!(!text.contains("chernoff_minimize"), "{text}");
+        assert!(!text.contains("par_steals"), "{text}");
+        let snapshot = r.snapshot();
+        assert!(snapshot.histograms.contains_key("core.chernoff.minimize"));
+        assert_eq!(snapshot.counters.get("par.steals"), Some(&17));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // All three at once, in the order backslash-first escaping must
+        // preserve: `\` then `"` then newline.
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+        // Idempotence does NOT hold (escaping escapes the escapes) —
+        // exactly one pass is applied on the way out.
+        assert_eq!(escape_label_value("a\\nb"), "a\\\\nb");
+    }
+
+    #[test]
+    fn renders_label_sets() {
+        assert_eq!(render_label_set(&[]), "");
+        assert_eq!(render_label_set(&[("node", "3")]), "{node=\"3\"}");
+        assert_eq!(
+            render_label_set(&[("node", "0"), ("disk", "2")]),
+            "{node=\"0\",disk=\"2\"}"
+        );
+        // Values with reserved characters survive a round through the
+        // exposition grammar; names are forced into the alphabet.
+        assert_eq!(
+            render_label_set(&[("zone.id", "a\"b\\c\nd")]),
+            "{zone_id=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn format_value_spells_specials() {
+        assert_eq!(format_value(1.5), "1.5");
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
     }
 }

@@ -76,15 +76,75 @@ impl Gauge {
     }
 }
 
-/// Histogram geometry: log-spaced buckets, `BUCKETS_PER_DECADE` per
-/// factor of 10, spanning `LOW..HIGH` (seconds, when recording
-/// durations — but any positive unit works).
-const BUCKETS_PER_DECADE: usize = 9;
-const DECADES: usize = 13;
-const BUCKET_COUNT: usize = BUCKETS_PER_DECADE * DECADES;
-/// Lower edge of the first regular bucket (1 ns when the unit is
-/// seconds).
-const LOW: f64 = 1e-9;
+/// The fixed log-bucket geometry shared by [`Histogram`] and by the
+/// mergeable quantile sketches in `mzd-obs`.
+///
+/// Nine log-spaced buckets per factor of ten across thirteen decades
+/// starting at `1e-9`, plus one underflow and one overflow slot. The
+/// layout is a compile-time constant — never adapted to the data — so
+/// two histograms or sketches over the same unit merge *exactly* by
+/// bucket-wise addition, in any order, which is what makes fleet-level
+/// quantiles byte-stable at any `--jobs` width.
+pub mod geometry {
+    /// Log-spaced buckets per factor of 10.
+    pub const BUCKETS_PER_DECADE: usize = 9;
+    /// Decades spanned by the regular buckets.
+    pub const DECADES: usize = 13;
+    /// Number of regular (finite-bound) buckets.
+    pub const BUCKET_COUNT: usize = BUCKETS_PER_DECADE * DECADES;
+    /// Total storage slots: `[underflow, BUCKET_COUNT regular, overflow]`.
+    pub const SLOT_COUNT: usize = BUCKET_COUNT + 2;
+    /// Lower edge of the first regular bucket (1 ns when the unit is
+    /// seconds).
+    pub const LOW: f64 = 1e-9;
+
+    /// Storage slot (0 = underflow, `BUCKET_COUNT + 1` = overflow) for a
+    /// recorded value. Zero, negatives and NaN all land in the underflow
+    /// slot (callers that want to drop NaN must do so before indexing).
+    #[must_use]
+    pub fn bucket_index(value: f64) -> usize {
+        if !(value > LOW) {
+            return 0;
+        }
+        let position = (value / LOW).log10() * BUCKETS_PER_DECADE as f64;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = position as usize; // truncation; position > 0 here
+        if idx >= BUCKET_COUNT {
+            BUCKET_COUNT + 1
+        } else {
+            idx + 1
+        }
+    }
+
+    /// Representative value (geometric bucket midpoint) for a slot; the
+    /// underflow slot reports `LOW`.
+    #[must_use]
+    pub fn bucket_value(index: usize) -> f64 {
+        if index == 0 {
+            return LOW;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let exp = (index - 1) as f64 + 0.5;
+        LOW * 10f64.powf(exp / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Upper edge of the slot at `index`: `LOW` for the underflow slot,
+    /// `+∞` for the overflow slot.
+    #[must_use]
+    pub fn bucket_bound(index: usize) -> f64 {
+        if index == 0 {
+            return LOW;
+        }
+        if index > BUCKET_COUNT {
+            return f64::INFINITY;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let exp = index as f64;
+        LOW * 10f64.powf(exp / BUCKETS_PER_DECADE as f64)
+    }
+}
+
+use geometry::{bucket_index, bucket_value, BUCKET_COUNT};
 
 /// A fixed-bucket log-scale histogram with atomic recording and
 /// quantile estimation.
@@ -121,30 +181,6 @@ impl Default for HistogramInner {
             max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
         }
     }
-}
-
-/// Bucket index (0 = underflow, `BUCKET_COUNT + 1` = overflow) for a
-/// recorded value.
-fn bucket_index(value: f64) -> usize {
-    if !(value > LOW) {
-        return 0;
-    }
-    let position = (value / LOW).log10() * BUCKETS_PER_DECADE as f64;
-    let idx = position as usize; // truncation; position > 0 here
-    if idx >= BUCKET_COUNT {
-        BUCKET_COUNT + 1
-    } else {
-        idx + 1
-    }
-}
-
-/// Representative value (geometric bucket midpoint) for a bucket index.
-fn bucket_value(index: usize) -> f64 {
-    if index == 0 {
-        return LOW;
-    }
-    let exp = (index - 1) as f64 + 0.5;
-    LOW * 10f64.powf(exp / BUCKETS_PER_DECADE as f64)
 }
 
 impl Histogram {
@@ -249,13 +285,7 @@ impl Histogram {
                 // Underflow merges into the first regular bound below.
                 continue;
             }
-            let bound = if i > BUCKET_COUNT {
-                f64::INFINITY
-            } else {
-                // Upper edge of regular bucket `i`.
-                LOW * 10f64.powf(i as f64 / BUCKETS_PER_DECADE as f64)
-            };
-            out.push((bound, cumulative));
+            out.push((geometry::bucket_bound(i), cumulative));
         }
         out
     }
@@ -307,6 +337,13 @@ pub struct Registry {
     counters: RwLock<HashMap<String, Counter>>,
     gauges: RwLock<HashMap<String, Gauge>>,
     histograms: RwLock<HashMap<String, Histogram>>,
+    /// Names of metrics that describe the *execution* rather than the
+    /// modeled system: wall-clock span timers, scheduler effort
+    /// (task/steal counts), solver iteration tallies. Their values vary
+    /// with real elapsed time or with `--jobs`, so exporters that
+    /// promise byte-identity (the Prometheus exposition) skip them; the
+    /// JSON snapshot keeps them as diagnostics.
+    execution: RwLock<std::collections::HashSet<String>>,
 }
 
 fn get_or_insert<T: Clone + Default>(map: &RwLock<HashMap<String, T>>, name: &str) -> T {
@@ -343,6 +380,51 @@ impl Registry {
     #[must_use]
     pub fn histogram(&self, name: &str) -> Histogram {
         get_or_insert(&self.histograms, name)
+    }
+
+    fn mark_execution(&self, name: &str) {
+        {
+            let marked = self.execution.read().expect("metrics lock");
+            if marked.contains(name) {
+                return;
+            }
+        }
+        self.execution
+            .write()
+            .expect("metrics lock")
+            .insert(name.to_string());
+    }
+
+    /// The histogram named `name`, additionally marked execution-scoped
+    /// ([`Registry::is_execution_scoped`]). Span timers use this: their
+    /// values are real elapsed time, so they are excluded from the
+    /// deterministic Prometheus exposition and live only in the JSON
+    /// snapshot (like the phase profiler, wall-clock data is outside
+    /// the byte-identity contract). Solver iteration histograms use it
+    /// too — the work a parallel scan performs depends on how the range
+    /// was split.
+    #[must_use]
+    pub fn execution_histogram(&self, name: &str) -> Histogram {
+        self.mark_execution(name);
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// The counter named `name`, additionally marked execution-scoped
+    /// ([`Registry::is_execution_scoped`]). Scheduler-effort counters
+    /// (tasks dispatched, ranges stolen) use this: their values depend
+    /// on the `--jobs` width, not on the modeled system.
+    #[must_use]
+    pub fn execution_counter(&self, name: &str) -> Counter {
+        self.mark_execution(name);
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Whether `name` was registered through
+    /// [`Registry::execution_histogram`] or
+    /// [`Registry::execution_counter`].
+    #[must_use]
+    pub fn is_execution_scoped(&self, name: &str) -> bool {
+        self.execution.read().expect("metrics lock").contains(name)
     }
 
     /// Handles to every registered histogram, sorted by name — for

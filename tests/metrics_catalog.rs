@@ -1,0 +1,185 @@
+//! Metrics-catalog drift gate: `docs/observability.md` must document
+//! every metric the workspace registers, and every `mzd_`-prefixed
+//! exposition name the docs mention must map back to a registered
+//! metric. Without this gate the catalog and the code drift apart
+//! silently — a dashboard built from the docs then scrapes nothing.
+//!
+//! Registered names are recovered from the library sources themselves:
+//! `.counter("…")` / `.gauge("…")` / `.histogram("…")` literals (and
+//! their `execution_`-scoped variants) plus
+//! the `SKETCH_*` name constants of the fleet observability plane.
+//! Test modules sit at the bottom of each file by workspace
+//! convention, so everything after the first `#[cfg(test)]` is
+//! skipped, as are comment/doc lines.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // This test is registered by crates/integration/Cargo.toml.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/integration sits two levels below the root")
+        .to_path_buf()
+}
+
+fn is_library_source(path: &Path) -> bool {
+    if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return false;
+    }
+    !path
+        .components()
+        .any(|c| c.as_os_str() == "bin" || c.as_os_str() == "tests" || c.as_os_str() == "benches")
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if is_library_source(&path) {
+            out.push(path);
+        }
+    }
+}
+
+/// Pull every metric-name string literal following one of `markers`
+/// out of `text`, skipping comments and anything after the first
+/// `#[cfg(test)]`.
+fn extract_names(text: &str, names: &mut BTreeSet<String>) {
+    const MARKERS: [&str; 8] = [
+        ".counter(\"",
+        ".gauge(\"",
+        ".histogram(\"",
+        ".execution_counter(\"",
+        ".execution_histogram(\"",
+        // Span timers register their wall-clock histogram through the
+        // macro; the name literal is the macro argument.
+        "span!(\"",
+        // The fleet sketch series are registered through named
+        // constants, not direct calls; the constants hold the names.
+        "const SKETCH_SERVICE_TIME: &str = \"",
+        "const SKETCH_QUEUE_DEPTH: &str = \"",
+    ];
+    let body = text.split("#[cfg(test)]").next().unwrap_or(text);
+    for line in body.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") || trimmed.starts_with('*') {
+            continue;
+        }
+        for marker in MARKERS {
+            for (at, _) in line.match_indices(marker) {
+                let rest = &line[at + marker.len()..];
+                let Some(end) = rest.find('"') else { continue };
+                let name = &rest[..end];
+                // Only dotted names are catalog entries; single-word
+                // literals are local examples, not metrics.
+                if name.contains('.')
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c))
+                {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+    }
+}
+
+fn registered_names() -> BTreeSet<String> {
+    let crates_dir = workspace_root().join("crates");
+    assert!(crates_dir.is_dir(), "missing {}", crates_dir.display());
+    let mut sources = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir).expect("readable crates dir") {
+        let src = entry.expect("readable dir entry").path().join("src");
+        if src.is_dir() {
+            collect_sources(&src, &mut sources);
+        }
+    }
+    let mut names = BTreeSet::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path).expect("readable source file");
+        extract_names(&text, &mut names);
+    }
+    assert!(
+        names.len() >= 60,
+        "suspiciously few registered metrics found ({}) — extraction misconfigured?\n{names:?}",
+        names.len()
+    );
+    names
+}
+
+fn catalog_text() -> String {
+    let path = workspace_root().join("docs/observability.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("readable {}: {e}", path.display()))
+}
+
+/// `sim.round.service_time` → `mzd_sim_round_service_time`, the prom
+/// exposition form (mirrors `mzd_telemetry::prom::sanitize_name`).
+fn exposition_name(dotted: &str) -> String {
+    format!("mzd_{}", dotted.replace('.', "_"))
+}
+
+#[test]
+fn every_registered_metric_is_documented() {
+    let docs = catalog_text();
+    let missing: Vec<String> = registered_names()
+        .into_iter()
+        .filter(|name| !docs.contains(name.as_str()))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "metrics registered in code but absent from docs/observability.md \
+         (add them to the metric catalog):\n  {}",
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn every_documented_exposition_name_maps_to_a_registered_metric() {
+    let docs = catalog_text();
+    let registered = registered_names();
+    let exposed: BTreeSet<String> = registered.iter().map(|n| exposition_name(n)).collect();
+
+    // Every `mzd_…` token in the docs must reduce — after stripping
+    // the prom series suffixes — to a registered metric's exposition
+    // name. `mzd_t` / `mzd_empty_series` style doc-test names never
+    // appear in the docs, so any miss is a stale or misspelled entry.
+    let mut stale = Vec::new();
+    let bytes = docs.as_bytes();
+    let mut i = 0;
+    while let Some(at) = docs[i..].find("mzd_") {
+        let start = i + at;
+        let mut end = start;
+        while end < docs.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let token = &docs[start..end];
+        i = end;
+        // Wildcard mentions like `mzd_cluster_node_queue_depth_*` end
+        // the token at a dangling underscore.
+        let mut base = token.trim_end_matches('_').to_string();
+        for suffix in ["_bucket", "_sum", "_count", "_total", "_fleet"] {
+            if let Some(stripped) = base.strip_suffix(suffix) {
+                base = stripped.to_string();
+            }
+        }
+        // The prose fragment "`mzd_`-prefixed" yields the bare prefix.
+        if base == "mzd_" || base == "mzd" {
+            continue;
+        }
+        if !exposed.contains(&base) && !exposed.contains(token) {
+            stale.push(token.to_string());
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "docs/observability.md mentions exposition names no code registers:\n  {}",
+        stale.join("\n  ")
+    );
+}

@@ -148,6 +148,54 @@ fn cluster_fleet_is_identical_across_job_counts() {
 }
 
 #[test]
+fn fleet_observability_is_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    // The observability plane rides the same round loop: stitched
+    // trace JSON, node-labeled sketch exposition and the fleet-merged
+    // bucket counts must come out byte-identical at any job count.
+    let run = || {
+        let mut cfg = mzd_cluster::ClusterConfig::paper_reference(3, 1).unwrap();
+        cfg.lease_rounds = 2;
+        cfg.outages.push(mzd_cluster::NodeOutage {
+            node: 1,
+            start: 4,
+            rounds: 40,
+        });
+        let mut fleet = mzd_cluster::Cluster::new(cfg, 77).unwrap();
+        fleet.enable_tracing().unwrap();
+        let object = mzd_workload::ObjectSpec::new(
+            "obs",
+            mzd_workload::SizeDistribution::paper_default(),
+            200,
+        )
+        .unwrap();
+        for _ in 0..24 {
+            fleet.submit(object.clone()).unwrap();
+        }
+        for _ in 0..12 {
+            fleet.run_round();
+        }
+        (
+            fleet.trace_chrome_json().expect("tracing enabled"),
+            fleet.sketches().render_prom(),
+            fleet
+                .sketches()
+                .merged(mzd_cluster::SKETCH_SERVICE_TIME)
+                .bucket_counts()
+                .to_vec(),
+        )
+    };
+    let reference = with_jobs(1, run);
+    assert!(reference.0.contains("fleet.requeue"), "outage must migrate");
+    for jobs in JOB_COUNTS {
+        let other = with_jobs(jobs, run);
+        assert_eq!(reference.0, other.0, "trace JSON, jobs = {jobs}");
+        assert_eq!(reference.1, other.1, "prom text, jobs = {jobs}");
+        assert_eq!(reference.2, other.2, "bucket counts, jobs = {jobs}");
+    }
+}
+
+#[test]
 fn admission_limits_are_identical_across_job_counts() {
     let _guard = JOBS_LOCK.lock().unwrap();
     let model = GuaranteeModel::paper_reference().unwrap();
