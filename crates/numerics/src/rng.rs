@@ -52,6 +52,7 @@ impl Normal {
     }
 
     /// Draw a standard normal variate.
+    #[inline]
     pub fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
         // Marsaglia polar method; rejection probability 1 − π/4 per trial.
         loop {
@@ -89,6 +90,14 @@ impl Sample for Normal {
 pub struct Gamma {
     shape: f64,
     scale: f64,
+    /// Marsaglia–Tsang `d = k − 1/3` for the (boosted, if `shape < 1`)
+    /// shape — precomputed at construction so the per-sample hot path
+    /// does no division or square root beyond the method itself. The
+    /// values are the same pure functions of `shape` the sampler used
+    /// to evaluate per call, so the draw stream is unchanged.
+    d: f64,
+    /// Marsaglia–Tsang `c = 1/√(9d)`, precomputed likewise.
+    c: f64,
 }
 
 impl Gamma {
@@ -103,7 +112,10 @@ impl Gamma {
                 detail: format!("require shape > 0 and scale > 0, got ({shape}, {scale})"),
             });
         }
-        Ok(Self { shape, scale })
+        let k = if shape < 1.0 { shape + 1.0 } else { shape };
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        Ok(Self { shape, scale, d, c })
     }
 
     /// Create from the paper's rate/shape convention:
@@ -186,18 +198,20 @@ impl Gamma {
 }
 
 impl Sample for Gamma {
+    #[inline]
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // Marsaglia & Tsang (2000): for shape ≥ 1 draw via the cubed
         // normal squeeze; for shape < 1 use the boosting identity
-        // G(k) = G(k+1) · U^{1/k}.
-        let (k, boost) = if self.shape < 1.0 {
+        // G(k) = G(k+1) · U^{1/k}. The method constants d and c for the
+        // effective shape are precomputed in the struct.
+        let boost = if self.shape < 1.0 {
             let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-            (self.shape + 1.0, u.powf(1.0 / self.shape))
+            u.powf(1.0 / self.shape)
         } else {
-            (self.shape, 1.0)
+            1.0
         };
-        let d = k - 1.0 / 3.0;
-        let c = 1.0 / (9.0 * d).sqrt();
+        let d = self.d;
+        let c = self.c;
         loop {
             let x = Normal::standard_sample(rng);
             let v = (1.0 + c * x).powi(3);

@@ -391,6 +391,13 @@ impl VideoServer {
             recalibration: None,
             faults: None,
         };
+        // Preallocate each simulator's round state for the admission cap
+        // (plus headroom for cache-aware over-admission), so steady-state
+        // rounds do zero allocations in the event core.
+        let round_capacity = admission
+            .effective_per_disk_limit()
+            .max(admission.per_disk_limit()) as usize
+            + 8;
         let disks = (0..cfg.disks)
             .map(|d| {
                 let mut sc = sim_cfg.clone();
@@ -401,7 +408,11 @@ impl VideoServer {
                     .as_ref()
                     .filter(|fc| fc.only_disk.map_or(true, |k| k == d))
                     .cloned();
-                RoundSimulator::new(sc, seed.wrapping_add(u64::from(d) + 1))
+                RoundSimulator::with_capacity(
+                    sc,
+                    seed.wrapping_add(u64::from(d) + 1),
+                    round_capacity,
+                )
             })
             .collect::<Result<Vec<_>, _>>()?;
         let disk_count = cfg.disks as usize;

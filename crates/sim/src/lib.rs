@@ -12,6 +12,10 @@
 //!
 //! * [`round`] — the mechanics of a single round (request generation,
 //!   sweep ordering, completion times);
+//! * [`event`] — the discrete-event core underneath every round:
+//!   logical-time event ordering with a fixed `(time, kind_rank, seq)`
+//!   tiebreak, struct-of-arrays request state in preallocated arenas,
+//!   and batched RNG draws bit-identical to per-request draws;
 //! * [`engine`] — multi-round simulation with per-stream glitch accounting;
 //! * [`experiment`] — estimators for the paper's measured quantities:
 //!   `p_late` (Figure 1) and `p_error` (Table 2), with Wilson confidence
@@ -32,6 +36,7 @@
 pub mod cache_sweep;
 pub mod drift;
 pub mod engine;
+pub mod event;
 pub mod experiment;
 pub mod mixed;
 pub mod round;
@@ -40,6 +45,7 @@ pub mod workahead;
 pub use cache_sweep::{run_point as run_cache_sweep_point, CacheSweepConfig, CacheSweepPoint};
 pub use drift::{run_drift_scenario, DriftScenarioConfig, DriftScenarioReport};
 pub use engine::{run_replicated_windows, GlitchAccounting, SimulationEngine};
+pub use event::{DrawBuffer, Event, EventKind, EventQueue};
 pub use experiment::{
     estimate_p_error, estimate_p_error_par, estimate_p_late, estimate_p_late_par, PErrorEstimate,
     PLateEstimate,
