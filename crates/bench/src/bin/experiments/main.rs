@@ -58,6 +58,7 @@ fn main() {
         Some("drift") => experiments::drift(budget),
         Some("faults") => experiments::faults(budget),
         Some("fleet") => experiments::fleet(budget),
+        Some("health") => experiments::health(budget),
         Some("bench-summary") => experiments::bench_summary(budget),
         Some("bench-check") => experiments::bench_check(budget),
         Some("all") => experiments::all(budget),
@@ -88,9 +89,11 @@ fn main() {
                  cache        fragment cache: glitch rate vs size vs Zipf skew\n  \
                  drift        model drift: conformance checker vs zone skew\n  \
                  faults       fault injection: fault-priced N_max vs observed\n               \
-                 glitch rate (writes FAULT_sweep.json)\n  \
+                 glitch rate (writes out/FAULT_sweep.json)\n  \
                  fleet        sharded fleet at scale: 64 nodes x 8 disks, ~100k\n               \
                  streams, composed p_error, jobs=1 vs jobs=8 determinism\n  \
+                 health       gray-failure health: inflation factor vs detection\n               \
+                 latency vs budget held (writes out/HEALTH_sweep.json)\n  \
                  bench-summary  write BENCH_core.json / BENCH_sim.json /\n                 \
                  BENCH_baseline.json (ns/op, jobs=1 vs jobs=4 speedups)\n  \
                  bench-check  perf-regression gate: fresh --quick measurement vs\n               \

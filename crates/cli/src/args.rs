@@ -71,9 +71,11 @@ commands:
              --reps K   [split the round budget over K independent
                          replications, run in parallel]
              --faults SPEC  [inject disk faults; SPEC is a preset
-                             (clean|media1pct|flaky|degrading|zonefail)
+                             (clean|media1pct|flaky|degrading|zonefail|
+                              graynode|flappy|creep)
                              or key=value pairs, e.g.
-                             media=0.01:1,stall=0.002:0.05,retries=4])
+                             media=0.01:1,stall=0.002:0.05,retries=4,
+                             gray=slow:1.6|flap:2:40:20|creep:40:400:2.5])
   serve      round-based server on a Zipf catalog
              (flags: --disks D --streams N --rounds R --seed S
               --objects K --object-rounds M --zipf SKEW
@@ -86,6 +88,19 @@ commands:
               --lease-rounds L    [rounds of silence before a node is
                                    declared failed and its streams
                                    migrate; default 3]
+              --health            [gray-failure detection: per-node
+                                   suspicion scores over per-stream
+                                   service times drive a probation ->
+                                   ejection -> readmission machine;
+                                   probated nodes get hedged dispatch,
+                                   ejection re-composes the guarantee
+                                   (capacity debited; infeasible load
+                                   freezes admission) and dumps a
+                                   health.ejection fleet postmortem;
+                                   needs --nodes N]
+              --gray-node I       [the node carrying any gray=... shape
+                                   in --fault-profile (mod N); other
+                                   members run it stripped; default 0]
               --cache-bytes B --cache-policy lru|interval|cost
               --cache-safety S    [enables cache-aware admission]
               --slo               [burn-rate + model-conformance monitor]
@@ -153,7 +168,14 @@ observability:
                        go to stderr; with -v, events still stream there)";
 
 /// Flags that take no value; presence means `true`.
-const BOOLEAN_FLAGS: [&str; 5] = ["verbose", "quiet", "slo", "degrade", "dump-on-exit"];
+const BOOLEAN_FLAGS: [&str; 6] = [
+    "verbose",
+    "quiet",
+    "slo",
+    "degrade",
+    "dump-on-exit",
+    "health",
+];
 
 /// Parse an argument vector (without the program name).
 ///

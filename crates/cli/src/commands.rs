@@ -585,12 +585,20 @@ fn serve_cluster(parsed: &Parsed, nodes: u32, disks: u32) -> Result<String, CliE
     let seed = parsed.u64_or("seed", 42)?;
     let lease_rounds = u32::try_from(parsed.u64_or("lease-rounds", 3)?)
         .map_err(|_| CliError::Usage("--lease-rounds is too large".into()))?;
+    let gray_node = u32::try_from(parsed.u64_or("gray-node", 0)?)
+        .map_err(|_| CliError::Usage("--gray-node is too large".into()))?;
     let mut cfg = mzd_cluster::ClusterConfig::paper_reference(nodes, disks)
         .map_err(|e| CliError::Execution(e.to_string()))?;
     cfg.node = serve_server_config(parsed, disks)?;
     cfg.lease_rounds = lease_rounds;
+    cfg.gray_node = gray_node;
     let mut fleet =
         mzd_cluster::Cluster::new(cfg, seed).map_err(|e| CliError::Execution(e.to_string()))?;
+    if parsed.flag("health") {
+        fleet
+            .enable_health(mzd_health::HealthConfig::default())
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+    }
     let guarantee = fleet.guarantee().clone();
     // Default offered load: the composed fleet capacity — the largest
     // population the guarantee covers.
@@ -756,6 +764,37 @@ fn serve_cluster(parsed: &Parsed, nodes: u32, disks: u32) -> Result<String, CliE
         "  observed: {over_budget} of {} completed stream(s) exceeded the g = {} glitch budget",
         status.completed, guarantee.g
     );
+    if let Some(h) = fleet.health_status() {
+        let _ = writeln!(
+            out,
+            "  health: {} probation(s), {} ejection(s), {} readmission(s), {} clear(s); \
+             {} on probation / {} ejected at exit (max suspicion {:.2})",
+            h.probations,
+            h.ejections,
+            h.readmissions,
+            h.clears,
+            h.probation_nodes,
+            h.ejected_nodes,
+            h.max_suspicion
+        );
+        let _ = writeln!(
+            out,
+            "  health: {} hedge(s) issued, {} won ({:.4}s spare slack debited)",
+            h.hedges_issued, h.hedges_won, h.hedge_slack_debited
+        );
+        let _ = writeln!(
+            out,
+            "  health: re-composed capacity {} over {} member(s) (degrade rung {}{})",
+            h.recomposed.effective_capacity,
+            h.recomposed.members,
+            h.recomposed.degrade_rung,
+            if h.recomposed.frozen {
+                ", admission FROZEN"
+            } else {
+                ""
+            }
+        );
+    }
     let service = fleet.sketches().merged(mzd_cluster::SKETCH_SERVICE_TIME);
     if service.count() > 0 {
         let _ = writeln!(
@@ -1027,6 +1066,44 @@ mod tests {
             run_line(&["serve", "--rounds", "1", "--fault-profile", "media=2.0"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_fleet_with_health_ejects_gray_node() {
+        let line = [
+            "serve",
+            "--nodes",
+            "8",
+            "--disks",
+            "1",
+            "--rounds",
+            "80",
+            "--seed",
+            "5",
+            "--fault-profile",
+            "graynode",
+            "--gray-node",
+            "2",
+            "--health",
+        ];
+        let out = run_line(&line).unwrap();
+        assert!(out.contains("health:"), "{out}");
+        assert!(out.contains("re-composed capacity"), "{out}");
+        // The persistently slow node is detected and ejected well within
+        // 80 rounds; the default readmission delay keeps it out at exit.
+        let ejections: u64 = out
+            .lines()
+            .find(|l| l.contains("ejection(s)"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|w| w.parse().ok())
+            .unwrap();
+        assert!(ejections >= 1, "{out}");
+        assert!(out.contains("/ 1 ejected at exit"), "{out}");
+        // Byte-identical on rerun.
+        assert_eq!(out, run_line(&line).unwrap());
+        // Without --health the report carries no health section.
+        let control = run_line(&line[..line.len() - 1]).unwrap();
+        assert!(!control.contains("health:"), "{control}");
     }
 
     #[test]

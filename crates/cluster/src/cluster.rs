@@ -28,10 +28,11 @@
 //! analogue of a correlated zone loss), while `Burst`/`Ramp`
 //! scenarios stay on the disks where they belong.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
-use mzd_fault::ChaosScenario;
+use mzd_fault::{ChaosScenario, GrayDegradation};
+use mzd_health::{HealthConfig, HealthDetector, RecomposedGuarantee};
 use mzd_obs::SketchFleet;
 use mzd_prof::{DumpTrigger, Recorder, RecorderSettings};
 use mzd_server::{AdmissionController, AdmissionDecision, ServerConfig};
@@ -41,7 +42,7 @@ use mzd_workload::ObjectSpec;
 
 use crate::dispatcher::{Dispatcher, LeaseTable, NodeView, Pending};
 use crate::guarantee::ClusterGuarantee;
-use crate::metrics::ClusterMetrics;
+use crate::metrics::{ClusterMetrics, HealthMetrics};
 use crate::node::{Node, ServerNode};
 use crate::placement::Placement;
 use crate::ClusterError;
@@ -105,6 +106,13 @@ pub struct ClusterConfig {
     pub lease_rounds: u32,
     /// Scripted node outages (merged with any lifted `ZoneFailure`).
     pub outages: Vec<NodeOutage>,
+    /// The node that carries any gray degradation configured on the
+    /// node template (taken modulo the fleet size). Gray failure is
+    /// node-scoped by construction: the template's
+    /// [`GrayDegradation`] is kept on this member and stripped from
+    /// every other, mirroring how `ZoneFailure` lifts to one
+    /// [`NodeOutage`].
+    pub gray_node: u32,
 }
 
 impl ClusterConfig {
@@ -125,6 +133,7 @@ impl ClusterConfig {
             node: ServerConfig::paper_reference(disks_per_node)?,
             lease_rounds: DEFAULT_LEASE_ROUNDS,
             outages: Vec::new(),
+            gray_node: 0,
         })
     }
 
@@ -249,6 +258,56 @@ struct StreamMeta {
     rounds_total: u32,
 }
 
+/// A point-in-time health-subsystem summary (see
+/// [`Cluster::health_status`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthStatus {
+    /// Nodes currently on probation (hedged dispatch).
+    pub probation_nodes: u32,
+    /// Nodes currently ejected.
+    pub ejected_nodes: u32,
+    /// Probation entries so far.
+    pub probations: u64,
+    /// Ejections so far.
+    pub ejections: u64,
+    /// Readmission trials begun so far.
+    pub readmissions: u64,
+    /// Probations cleared back to healthy so far.
+    pub clears: u64,
+    /// Hedged duplicate rounds dispatched so far.
+    pub hedges_issued: u64,
+    /// Hedges the spare completed inside its round slack.
+    pub hedges_won: u64,
+    /// Cumulative spare round-slack spent on winning hedges, seconds.
+    pub hedge_slack_debited: f64,
+    /// The re-composed guarantee currently in force.
+    pub recomposed: RecomposedGuarantee,
+    /// Highest per-node suspicion after the last round.
+    pub max_suspicion: f64,
+}
+
+/// The health subsystem's runtime state: the detector, the hedging
+/// ledger, and the re-composed guarantee admission consults.
+#[derive(Debug)]
+struct HealthState {
+    detector: HealthDetector,
+    /// Round-slack cost of one hedged duplicate round on the spare:
+    /// the per-stream share of a round at the composed admission
+    /// level, `round_length / node_capacity` — the same unit the
+    /// retry budget is priced in.
+    hedge_cost: f64,
+    recomposed: RecomposedGuarantee,
+    max_suspicion: f64,
+    probations: u64,
+    ejections: u64,
+    readmissions: u64,
+    clears: u64,
+    hedges_issued: u64,
+    hedges_won: u64,
+    hedge_slack_debited: f64,
+    metrics: HealthMetrics,
+}
+
 /// A sharded fleet of video-server nodes behind one dispatcher, with
 /// the paper's guarantee composed fleet-wide. See the crate docs for
 /// the layer map and [`ClusterGuarantee`] for the math.
@@ -297,6 +356,9 @@ pub struct Cluster {
     fleet_dir: Option<PathBuf>,
     /// Fleet manifests written so far, one per distinct trigger kind.
     fleet_dumps: Vec<(DumpTrigger, PathBuf)>,
+    /// Gray-failure detection and self-healing; `None` until
+    /// [`Cluster::enable_health`].
+    health: Option<HealthState>,
 }
 
 impl Cluster {
@@ -328,6 +390,16 @@ impl Cluster {
                 fc.profile = fc.profile.without_scenario();
             }
         }
+        // Gray degradation is likewise node-scoped: the template's gray
+        // shape stays on the designated gray node only, so one member
+        // silently slows down while the rest of the fleet — and the
+        // admission math, which never prices gray — stay clean.
+        let gray_target = cfg.gray_node % cfg.nodes;
+        let fleet_has_gray = cfg
+            .node
+            .faults
+            .as_ref()
+            .is_some_and(|fc| fc.profile.gray != GrayDegradation::None);
         let model = cfg.node.model()?;
         let guarantee = ClusterGuarantee::compose(
             &model,
@@ -344,11 +416,13 @@ impl Cluster {
         );
         let nodes = (0..cfg.nodes)
             .map(|i| {
-                ServerNode::new(
-                    i,
-                    cfg.node.clone(),
-                    mzd_par::derive_seed(seed, u64::from(i)),
-                )
+                let mut node_cfg = cfg.node.clone();
+                if fleet_has_gray && i != gray_target {
+                    if let Some(fc) = node_cfg.faults.as_mut() {
+                        fc.profile = fc.profile.without_gray();
+                    }
+                }
+                ServerNode::new(i, node_cfg, mzd_par::derive_seed(seed, u64::from(i)))
             })
             .collect::<Result<Vec<_>, _>>()?;
         let placement = Placement::new(cfg.nodes)?;
@@ -388,6 +462,7 @@ impl Cluster {
             recorders,
             fleet_dir: None,
             fleet_dumps: Vec::new(),
+            health: None,
         })
     }
 
@@ -419,6 +494,99 @@ impl Cluster {
         }
         self.tracer = Some(Tracer::new());
         Ok(())
+    }
+
+    /// Attach the gray-failure health subsystem: a deterministic
+    /// suspicion detector over the same per-node service-time samples
+    /// the observability sketches record, the probation → ejection →
+    /// readmission machine, hedged dispatch for probated nodes, and
+    /// guarantee re-composition on ejection. Registers the `health.*`
+    /// metric family eagerly so calm and degraded runs expose the same
+    /// catalog. Call before the first round.
+    ///
+    /// # Errors
+    /// [`ClusterError::Invalid`] for an invalid [`HealthConfig`].
+    pub fn enable_health(&mut self, health_cfg: HealthConfig) -> Result<(), ClusterError> {
+        let detector = HealthDetector::new(health_cfg, self.cfg.nodes)?;
+        let metrics = HealthMetrics::new();
+        let recomposed = mzd_health::recompose(
+            self.cfg.nodes,
+            u64::from(self.guarantee.node_capacity),
+            self.guarantee.p_error_stream,
+            0,
+            self.committed(),
+        );
+        metrics.enabled.set(1.0);
+        #[allow(clippy::cast_precision_loss)]
+        metrics
+            .fleet_capacity
+            .set(recomposed.effective_capacity as f64);
+        metrics.degrade_rung.set(f64::from(recomposed.degrade_rung));
+        metrics
+            .admission_frozen
+            .set(f64::from(u8::from(recomposed.frozen)));
+        self.health = Some(HealthState {
+            detector,
+            hedge_cost: self.cfg.node.round_length / f64::from(self.guarantee.node_capacity.max(1)),
+            recomposed,
+            max_suspicion: 0.0,
+            probations: 0,
+            ejections: 0,
+            readmissions: 0,
+            clears: 0,
+            hedges_issued: 0,
+            hedges_won: 0,
+            hedge_slack_debited: 0.0,
+            metrics,
+        });
+        Ok(())
+    }
+
+    /// A point-in-time health summary; `None` until
+    /// [`Cluster::enable_health`].
+    #[must_use]
+    pub fn health_status(&self) -> Option<HealthStatus> {
+        self.health.as_ref().map(|h| HealthStatus {
+            probation_nodes: h.detector.probation_count(),
+            ejected_nodes: h.detector.ejected_count(),
+            probations: h.probations,
+            ejections: h.ejections,
+            readmissions: h.readmissions,
+            clears: h.clears,
+            hedges_issued: h.hedges_issued,
+            hedges_won: h.hedges_won,
+            hedge_slack_debited: h.hedge_slack_debited,
+            recomposed: h.recomposed,
+            max_suspicion: h.max_suspicion,
+        })
+    }
+
+    /// One node's current position in the health state machine;
+    /// `None` until [`Cluster::enable_health`] (or for an out-of-range
+    /// node index). Lets operators and sweeps track a *specific* node
+    /// through probation → ejection → readmission rather than inferring
+    /// it from the fleet-wide counters in [`Cluster::health_status`].
+    #[must_use]
+    pub fn node_health(&self, node: u32) -> Option<mzd_health::NodeHealth> {
+        let h = self.health.as_ref()?;
+        (node < self.cfg.nodes).then(|| h.detector.node(node).health)
+    }
+
+    /// Streams the fleet is currently responsible for: hosted plus
+    /// queued plus held unrouted.
+    fn committed(&self) -> u64 {
+        (self.hosted.len() + self.dispatcher.queued_total() + self.unrouted.len()) as u64
+    }
+
+    /// Whether the health subsystem has `node` ejected. Ejection is
+    /// deliberately *not* expressed through the lease table: an ejected
+    /// node is alive (it keeps stepping empty and renewing its lease,
+    /// staying warm for readmission) — it is only excluded from
+    /// routing, dispatch, and detector baselines.
+    fn is_health_ejected(&self, node: u32) -> bool {
+        self.health
+            .as_ref()
+            .is_some_and(|h| h.detector.is_ejected(node))
     }
 
     /// Attach per-node flight recorders dumping under
@@ -588,12 +756,26 @@ impl Cluster {
     /// validation); rejection is the `Ok(`[`SubmitOutcome::Rejected`]`)`
     /// case, not an error.
     pub fn submit(&mut self, object: ObjectSpec) -> Result<SubmitOutcome, ClusterError> {
-        let committed =
-            (self.hosted.len() + self.dispatcher.queued_total() + self.unrouted.len()) as u64;
-        if committed >= self.guarantee.fleet_capacity {
+        let committed = self.committed();
+        // Admission consults the re-composed guarantee when health is
+        // on: ejections debit capacity, and a frozen fleet (survivors
+        // over-committed) rejects everything until it drains or heals.
+        let capacity = self
+            .health
+            .as_ref()
+            .map_or(self.guarantee.fleet_capacity, |h| {
+                if h.recomposed.frozen {
+                    0
+                } else {
+                    h.recomposed
+                        .effective_capacity
+                        .min(self.guarantee.fleet_capacity)
+                }
+            });
+        if committed >= capacity {
             self.metrics.rejected.inc();
             return Ok(SubmitOutcome::Rejected {
-                fleet_capacity: self.guarantee.fleet_capacity,
+                fleet_capacity: capacity,
             });
         }
         let seq = self.next_seq;
@@ -650,7 +832,8 @@ impl Cluster {
     /// Routing snapshot: availability is the *lease* view (the cluster
     /// routes on belief — a silent node keeps collecting queue entries
     /// until its lease expires, exactly the window the guarantee's
-    /// outage charge pays for).
+    /// outage charge pays for), minus health-ejected members (alive
+    /// but excluded from routing until readmitted).
     fn views(&self) -> Vec<NodeView> {
         self.nodes
             .iter()
@@ -660,7 +843,7 @@ impl Cluster {
                 let queued = self.dispatcher.queue_len(id) as u32;
                 NodeView {
                     node: id,
-                    available: self.lease.is_live(id),
+                    available: self.lease.is_live(id) && !self.is_health_ejected(id),
                     headroom: self
                         .guarantee
                         .node_capacity
@@ -685,6 +868,103 @@ impl Cluster {
         };
         self.completed.push(record.clone());
         record
+    }
+
+    /// Evacuate node `from`: pull every hosted stream off it and
+    /// requeue the unfinished ones onto the survivors (keeping their
+    /// original sequence numbers, so they re-enter ahead of newer
+    /// arrivals), then re-route its parked queue entries. Shared by
+    /// lease expiry and health ejection — `span_name` labels which
+    /// path fired in the stitched trace.
+    fn evacuate_node(
+        &mut self,
+        from: u32,
+        span_name: &'static str,
+        round: u64,
+        round_us: u64,
+        report: &mut ClusterRoundReport,
+    ) {
+        let manifest = self.nodes[from as usize].evacuate();
+        for e in manifest {
+            let seq = self
+                .by_host
+                .remove(&(from, e.local_id))
+                .expect("evacuated stream was hosted");
+            self.hosted.remove(&seq);
+            let remaining = e.object.rounds - e.fragments_consumed;
+            if remaining == 0 {
+                let record = self.finish_stream(seq);
+                report.completed.push(record);
+                continue;
+            }
+            let meta = self.meta.get_mut(&seq).expect("evacuated stream meta");
+            meta.migrations += 1;
+            if let Some(tracer) = self.tracer.as_mut() {
+                if let Some(root) = self.stream_roots.get(&seq) {
+                    let ctx = tracer.child(root);
+                    tracer.record(
+                        span_name,
+                        "fleet",
+                        0,
+                        seq,
+                        round * round_us,
+                        1,
+                        ctx,
+                        &[("node", u64::from(from))],
+                    );
+                }
+                self.queued_at.insert(seq, round);
+            }
+            let pending = Pending {
+                seq,
+                object: ObjectSpec {
+                    rounds: remaining,
+                    ..e.object
+                },
+                carried_glitches: meta.glitches,
+                migrated: true,
+            };
+            self.migrations_total += 1;
+            self.metrics.migrated_streams.inc();
+            self.metrics.requeued.inc();
+            let views = self.views();
+            match self.dispatcher.route(pending, &views, &self.placement) {
+                Ok(to) => {
+                    if let Some(tracer) = self.tracer.as_mut() {
+                        if let Some(root) = self.stream_roots.get(&seq) {
+                            let ctx = tracer.child(root);
+                            tracer.record(
+                                "fleet.requeue",
+                                "fleet",
+                                0,
+                                seq,
+                                round * round_us,
+                                1,
+                                ctx,
+                                &[("to", u64::from(to))],
+                            );
+                        }
+                    }
+                    report.migrations.push(MigrationRecord {
+                        seq,
+                        from,
+                        to,
+                        remaining_rounds: remaining,
+                    });
+                }
+                Err(p) => self.unrouted.push(p),
+            }
+        }
+        // Requests still parked on the evacuated node's queue re-route
+        // too, keeping their sequence numbers (and hence their place in
+        // line on the adopting queue).
+        for pending in self.dispatcher.drain_node(from) {
+            self.metrics.requeued.inc();
+            let views = self.views();
+            if let Err(p) = self.dispatcher.route(pending, &views, &self.placement) {
+                self.unrouted.push(p);
+            }
+        }
     }
 
     /// Advance the whole fleet one round. See the module docs for the
@@ -718,11 +998,11 @@ impl Cluster {
             }
         }
 
-        // 3. Dispatch: live, operational nodes pull from their queue
-        // front while the composed cap admits. The pull order (node
-        // index) is fixed, so admission is deterministic.
+        // 3. Dispatch: live, operational, non-ejected nodes pull from
+        // their queue front while the composed cap admits. The pull
+        // order (node index) is fixed, so admission is deterministic.
         for i in 0..n {
-            if !operational[i as usize] || !self.lease.is_live(i) {
+            if !operational[i as usize] || !self.lease.is_live(i) || self.is_health_ejected(i) {
                 continue;
             }
             while self.dispatcher.peek(i).is_some() {
@@ -778,6 +1058,46 @@ impl Cluster {
             }
         }
 
+        // 3½. Hedge selection: each probated node's oldest hosted
+        // stream gets its next round duplicated on the healthiest
+        // spare (most headroom, lowest id on ties). Winners settle
+        // after the step against the spare's actual round slack —
+        // first-completion wins, priced like retry recovery.
+        let mut hedges: Vec<(u64, u32)> = Vec::new();
+        if let Some(h) = self.health.as_ref() {
+            let views = self.views();
+            for i in 0..n {
+                if !h.detector.is_probated(i) || !operational[i as usize] || !self.lease.is_live(i)
+                {
+                    continue;
+                }
+                let Some((_, &victim)) = self.by_host.range((i, 0)..=(i, u64::MAX)).next() else {
+                    continue;
+                };
+                let mut spare: Option<(u32, u32)> = None; // (headroom, node)
+                for v in &views {
+                    if v.node == i
+                        || !v.available
+                        || !operational[v.node as usize]
+                        || h.detector.is_probated(v.node)
+                    {
+                        continue;
+                    }
+                    // Strict `>` keeps the lowest node id on headroom ties.
+                    if spare.map_or(true, |(best, _)| v.headroom > best) {
+                        spare = Some((v.headroom, v.node));
+                    }
+                }
+                if let Some((_, spare)) = spare {
+                    hedges.push((victim, spare));
+                }
+            }
+        }
+        if let Some(h) = self.health.as_mut() {
+            h.hedges_issued += hedges.len() as u64;
+            h.metrics.hedges_issued.add(hedges.len() as u64);
+        }
+
         // 4. Step every operational node, in parallel. Nodes are moved
         // into the worker pool and rejoin in node order; each owns its
         // RNG, so the fleet round is byte-identical at any job count.
@@ -794,6 +1114,37 @@ impl Cluster {
         for (node, r) in stepped {
             reports.push(r);
             self.nodes.push(node);
+        }
+
+        // 4½. Hedge settlement: a hedge wins iff the spare's observed
+        // round slack (round length minus its slowest disk this round)
+        // still covers the per-stream hedge cost after earlier hedges
+        // on the same spare debited theirs. A winning hedge means the
+        // duplicate round completed first, so the victim stream's
+        // glitch this round — if any — is never charged.
+        let mut covered: BTreeSet<u64> = BTreeSet::new();
+        if let Some(h) = self.health.as_mut() {
+            let round_length = self.cfg.node.round_length;
+            let mut spare_slack: BTreeMap<u32, f64> = BTreeMap::new();
+            for &(victim, spare) in &hedges {
+                let slack = spare_slack.entry(spare).or_insert_with(|| {
+                    reports[spare as usize].as_ref().map_or(0.0, |r| {
+                        let worst = r
+                            .disk_service_times
+                            .iter()
+                            .fold(0.0_f64, |acc, &t| acc.max(t));
+                        (round_length - worst).max(0.0)
+                    })
+                });
+                if *slack >= h.hedge_cost {
+                    *slack -= h.hedge_cost;
+                    h.hedges_won += 1;
+                    h.hedge_slack_debited += h.hedge_cost;
+                    h.metrics.hedges_won.inc();
+                    h.metrics.hedge_slack_debited.add(h.hedge_cost);
+                    covered.insert(victim);
+                }
+            }
         }
 
         // 5. Fold node reports in node order: lease renewals, glitch
@@ -817,6 +1168,11 @@ impl Cluster {
             report.node_service_times[i as usize] = node_report.disk_service_times;
             for local in node_report.glitched {
                 let seq = self.by_host[&(i, local)];
+                if covered.contains(&seq) {
+                    // The winning hedge delivered this stream's round
+                    // from the spare: first-completion wins, no glitch.
+                    continue;
+                }
                 self.meta
                     .get_mut(&seq)
                     .expect("hosted stream meta")
@@ -872,86 +1228,82 @@ impl Cluster {
             self.metrics.lease_expirations.inc();
             self.metrics.nodes_failed.inc();
             self.metrics.migrations.inc();
-            let manifest = self.nodes[failed as usize].evacuate();
-            for e in manifest {
-                let seq = self
-                    .by_host
-                    .remove(&(failed, e.local_id))
-                    .expect("evacuated stream was hosted");
-                self.hosted.remove(&seq);
-                let remaining = e.object.rounds - e.fragments_consumed;
-                if remaining == 0 {
-                    let record = self.finish_stream(seq);
-                    report.completed.push(record);
-                    continue;
-                }
-                let meta = self.meta.get_mut(&seq).expect("evacuated stream meta");
-                meta.migrations += 1;
-                if let Some(tracer) = self.tracer.as_mut() {
-                    if let Some(root) = self.stream_roots.get(&seq) {
-                        let ctx = tracer.child(root);
-                        tracer.record(
-                            "fleet.lease.expire",
-                            "fleet",
-                            0,
-                            seq,
-                            round * round_us,
-                            1,
-                            ctx,
-                            &[("node", u64::from(failed))],
-                        );
+            self.evacuate_node(failed, "fleet.lease.expire", round, round_us, &mut report);
+        }
+
+        // 7½. Health: feed the detector one sample per node — its
+        // *per-stream* service time this round (the node's sweep total
+        // over its hosted streams, from the same per-disk samples the
+        // observability sketches record). Normalizing by load is what
+        // makes the fleet baseline comparable: an honest node serving
+        // 25 streams spends more wall time per round than one serving
+        // 15, and raw sweep times would flag the busy node instead of
+        // the gray one. Silent, idle, and ejected nodes contribute
+        // nothing. Then act on the verdicts (ejection migrates streams
+        // through the same requeue path lease expiry uses) and
+        // re-compose the fleet guarantee with the survivors.
+        if self.health.is_some() {
+            let samples: Vec<Option<f64>> = (0..n)
+                .map(|i| {
+                    if self.is_health_ejected(i) {
+                        return None;
                     }
-                    self.queued_at.insert(seq, round);
-                }
-                let pending = Pending {
-                    seq,
-                    object: ObjectSpec {
-                        rounds: remaining,
-                        ..e.object
-                    },
-                    carried_glitches: meta.glitches,
-                    migrated: true,
-                };
-                self.migrations_total += 1;
-                self.metrics.migrated_streams.inc();
-                self.metrics.requeued.inc();
-                let views = self.views();
-                match self.dispatcher.route(pending, &views, &self.placement) {
-                    Ok(to) => {
-                        if let Some(tracer) = self.tracer.as_mut() {
-                            if let Some(root) = self.stream_roots.get(&seq) {
-                                let ctx = tracer.child(root);
-                                tracer.record(
-                                    "fleet.requeue",
-                                    "fleet",
-                                    0,
-                                    seq,
-                                    round * round_us,
-                                    1,
-                                    ctx,
-                                    &[("to", u64::from(to))],
-                                );
-                            }
-                        }
-                        report.migrations.push(MigrationRecord {
-                            seq,
-                            from: failed,
-                            to,
-                            remaining_rounds: remaining,
-                        });
-                    }
-                    Err(p) => self.unrouted.push(p),
-                }
+                    let sweep: f64 = report.node_service_times[i as usize].iter().sum();
+                    let load: u32 = self.nodes[i as usize].per_disk_load().iter().sum();
+                    // A zero sweep or an empty node carries no signal
+                    // (and an idle-heavy fleet must not collapse the
+                    // baseline median to zero).
+                    (sweep > 0.0 && load > 0).then(|| sweep / f64::from(load))
+                })
+                .collect();
+            let outcome = {
+                let h = self.health.as_mut().expect("health checked above");
+                let outcome = h.detector.observe(round, &samples);
+                h.probations += outcome.probated.len() as u64;
+                h.metrics.probations.add(outcome.probated.len() as u64);
+                h.readmissions += outcome.readmitted.len() as u64;
+                h.metrics.readmissions.add(outcome.readmitted.len() as u64);
+                h.clears += outcome.cleared.len() as u64;
+                h.metrics.clears.add(outcome.cleared.len() as u64);
+                h.ejections += outcome.ejected.len() as u64;
+                h.metrics.ejections.add(outcome.ejected.len() as u64);
+                h.max_suspicion = outcome.max_suspicion;
+                h.metrics.suspicion_max.set(outcome.max_suspicion);
+                outcome
+            };
+            // Ejection is not a lease event: the node stays alive and
+            // keeps renewing (warm for readmission), but its streams
+            // migrate to the survivors now.
+            for &ejected in &outcome.ejected {
+                self.metrics.migrations.inc();
+                self.evacuate_node(ejected, "fleet.health.eject", round, round_us, &mut report);
             }
-            // Requests still parked on the dead node's queue re-route
-            // too, keeping their sequence numbers (and hence their
-            // place in line on the adopting queue).
-            for pending in self.dispatcher.drain_node(failed) {
-                self.metrics.requeued.inc();
-                let views = self.views();
-                if let Err(p) = self.dispatcher.route(pending, &views, &self.placement) {
-                    self.unrouted.push(p);
-                }
+            let committed = self.committed();
+            let h = self.health.as_mut().expect("health checked above");
+            let ejected_count = h.detector.ejected_count();
+            h.recomposed = mzd_health::recompose(
+                n,
+                u64::from(self.guarantee.node_capacity),
+                self.guarantee.p_error_stream,
+                ejected_count,
+                committed,
+            );
+            #[allow(clippy::cast_precision_loss)]
+            h.metrics
+                .fleet_capacity
+                .set(h.recomposed.effective_capacity as f64);
+            h.metrics
+                .degrade_rung
+                .set(f64::from(h.recomposed.degrade_rung));
+            h.metrics
+                .admission_frozen
+                .set(f64::from(u8::from(h.recomposed.frozen)));
+            h.metrics
+                .nodes_probation
+                .set(f64::from(h.detector.probation_count()));
+            h.metrics.nodes_ejected.set(f64::from(ejected_count));
+            if !outcome.ejected.is_empty() {
+                self.fleet_dump(DumpTrigger::HealthEjection, round);
             }
         }
 
@@ -1284,6 +1636,184 @@ mod tests {
         // dedupes per trigger kind.
         assert!(fleet.trigger_fleet_dump(DumpTrigger::Manual).is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lease_debit_infeasibility_errors_on_every_constructor_path() {
+        // ℓ = 10 + 2 = 12 consumes the whole g = 12 budget.
+        let mut cfg = ClusterConfig::paper_reference(2, 1).unwrap();
+        cfg.lease_rounds = 10;
+        let model = cfg.node.model().unwrap();
+        // Direct composition.
+        let err = ClusterGuarantee::compose(
+            &model,
+            cfg.node.round_length,
+            cfg.node.target,
+            2,
+            1,
+            cfg.lease_rounds,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("consumes the glitch budget"),
+            "{err}"
+        );
+        // Cluster::new — which builds its AdmissionController via
+        // with_limit — must surface the same error, never handing
+        // with_limit a degenerate zero limit.
+        let err = Cluster::new(cfg.clone(), 1).unwrap_err();
+        assert!(
+            err.to_string().contains("consumes the glitch budget"),
+            "{err}"
+        );
+        // Far past the budget errs the same way (no panic, no wrap).
+        cfg.lease_rounds = 40;
+        let err = Cluster::new(cfg.clone(), 1).unwrap_err();
+        assert!(
+            err.to_string().contains("consumes the glitch budget"),
+            "{err}"
+        );
+        // The ℓ = g − 1 boundary still composes, handing with_limit a
+        // positive per-disk limit.
+        cfg.lease_rounds = 9;
+        let fleet = Cluster::new(cfg, 1).unwrap();
+        assert!(fleet.guarantee().n_star >= 1);
+        assert_eq!(fleet.guarantee().g_effective, 1);
+    }
+
+    #[test]
+    fn health_on_a_clean_fleet_is_quiet_and_byte_identical() {
+        let run = |health: bool| {
+            let cfg = ClusterConfig::paper_reference(4, 1).unwrap();
+            let mut fleet = Cluster::new(cfg, 11).unwrap();
+            if health {
+                fleet.enable_health(HealthConfig::default()).unwrap();
+            }
+            for _ in 0..12 {
+                fleet.submit(small_object(60)).unwrap();
+            }
+            let reports: Vec<ClusterRoundReport> = (0..80).map(|_| fleet.run_round()).collect();
+            (reports, fleet.status())
+        };
+        // A passive detector perturbs nothing: the health-enabled run
+        // is byte-identical to the plain one.
+        assert_eq!(run(false), run(true));
+
+        let cfg = ClusterConfig::paper_reference(4, 1).unwrap();
+        let mut fleet = Cluster::new(cfg, 11).unwrap();
+        fleet.enable_health(HealthConfig::default()).unwrap();
+        for _ in 0..12 {
+            fleet.submit(small_object(60)).unwrap();
+        }
+        for _ in 0..80 {
+            fleet.run_round();
+        }
+        let s = fleet.health_status().unwrap();
+        assert_eq!(s.probations, 0, "clean fleet must stay healthy: {s:?}");
+        assert_eq!(s.ejections, 0);
+        assert_eq!(s.hedges_issued, 0);
+        assert!(!s.recomposed.frozen);
+        assert_eq!(s.recomposed.degrade_rung, 0);
+        assert_eq!(
+            s.recomposed.effective_capacity,
+            fleet.guarantee().fleet_capacity
+        );
+    }
+
+    #[test]
+    fn creeping_gray_node_is_probated_hedged_then_ejected_and_readmitted() {
+        let mut cfg = ClusterConfig::paper_reference(8, 1).unwrap();
+        cfg.node.faults = Some(mzd_fault::FaultConfig::parse("gray=creep:20:400:2.0").unwrap());
+        cfg.gray_node = 2;
+        let mut fleet = Cluster::new(cfg, 5).unwrap();
+        fleet
+            .enable_health(HealthConfig {
+                warmup_rounds: 8,
+                readmit_after: 50,
+                ..HealthConfig::default()
+            })
+            .unwrap();
+        let full_capacity = fleet.guarantee().fleet_capacity;
+        for _ in 0..full_capacity {
+            assert!(matches!(
+                fleet.submit(small_object(400)).unwrap(),
+                SubmitOutcome::Queued { .. }
+            ));
+        }
+        let mut min_effective = full_capacity;
+        let mut max_rung = 0u8;
+        for _ in 0..280 {
+            fleet.run_round();
+            let s = fleet.health_status().unwrap();
+            min_effective = min_effective.min(s.recomposed.effective_capacity);
+            max_rung = max_rung.max(s.recomposed.degrade_rung);
+        }
+        let s = fleet.health_status().unwrap();
+        assert!(s.probations >= 1, "creep must raise suspicion: {s:?}");
+        assert!(s.ejections >= 1, "creep must eject the gray node: {s:?}");
+        assert!(
+            s.hedges_issued >= 1,
+            "probation rounds must hedge the oldest stream: {s:?}"
+        );
+        assert!(s.hedges_won <= s.hedges_issued);
+        // Hedge accounting: every win debits exactly one hedge cost
+        // (round_length / node_capacity) from spare round slack.
+        let hedge_cost = 1.0 / f64::from(fleet.guarantee().node_capacity);
+        let expected = s.hedges_won as f64 * hedge_cost;
+        assert!(
+            (s.hedge_slack_debited - expected).abs() < 1e-9,
+            "slack ledger {} != {} wins x {hedge_cost}",
+            s.hedge_slack_debited,
+            s.hedges_won
+        );
+        // The ejected member holds no streams; the survivors took them
+        // through the same requeue path lease expiry uses.
+        assert!(
+            s.readmissions >= 1,
+            "backed-off readmission trial must fire within 280 rounds: {s:?}"
+        );
+        // Re-composed guarantee: while the node was out, capacity was
+        // debited and the degrade rung raised. (The end state may have
+        // restored both if a readmission trial is in flight — that is
+        // the self-healing working, not a failure.)
+        assert!(min_effective < full_capacity);
+        assert!(max_rung >= 1);
+        assert_eq!(s.recomposed.members, 8 - s.ejected_nodes);
+        // No lease ever expired: ejection is not a lease event, and the
+        // ejected node keeps renewing while excluded from dispatch.
+        assert_eq!(fleet.status().live_nodes, 8);
+    }
+
+    #[test]
+    fn ejection_that_overcommits_the_survivors_freezes_admission() {
+        let mut cfg = ClusterConfig::paper_reference(3, 1).unwrap();
+        cfg.node.faults = Some(mzd_fault::FaultConfig::parse("gray=slow:2.5").unwrap());
+        cfg.gray_node = 0;
+        let mut fleet = Cluster::new(cfg, 7).unwrap();
+        fleet
+            .enable_health(HealthConfig {
+                warmup_rounds: 6,
+                ..HealthConfig::default()
+            })
+            .unwrap();
+        let cap = fleet.guarantee().fleet_capacity;
+        for _ in 0..cap {
+            fleet.submit(small_object(600)).unwrap();
+        }
+        for _ in 0..60 {
+            fleet.run_round();
+        }
+        let s = fleet.health_status().unwrap();
+        assert!(s.ejections >= 1, "persistent slow node must eject: {s:?}");
+        assert_eq!(fleet.node(0).active_streams(), 0, "ejected node drained");
+        // Two survivors re-compose to one serving member + one spare:
+        // the committed load no longer fits, so admission freezes.
+        assert!(s.recomposed.frozen, "{s:?}");
+        assert_eq!(s.recomposed.degrade_rung, 2);
+        assert_eq!(
+            fleet.submit(small_object(10)).unwrap(),
+            SubmitOutcome::Rejected { fleet_capacity: 0 }
+        );
     }
 
     #[test]

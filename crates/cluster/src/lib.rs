@@ -64,8 +64,8 @@ pub mod placement;
 
 pub use cluster::{
     Cluster, ClusterCompletedStream, ClusterConfig, ClusterRoundReport, ClusterStatus,
-    MigrationRecord, NodeOutage, SubmitOutcome, NODE_SPAN_BASE_SHIFT, SKETCH_QUEUE_DEPTH,
-    SKETCH_SERVICE_TIME,
+    HealthStatus, MigrationRecord, NodeOutage, SubmitOutcome, NODE_SPAN_BASE_SHIFT,
+    SKETCH_QUEUE_DEPTH, SKETCH_SERVICE_TIME,
 };
 pub use dispatcher::{Dispatcher, LeaseTable, NodeView, Pending};
 pub use guarantee::ClusterGuarantee;
@@ -104,6 +104,12 @@ impl From<mzd_core::CoreError> for ClusterError {
 
 impl From<mzd_workload::WorkloadError> for ClusterError {
     fn from(e: mzd_workload::WorkloadError) -> Self {
+        ClusterError::Invalid(e.to_string())
+    }
+}
+
+impl From<mzd_health::HealthError> for ClusterError {
+    fn from(e: mzd_health::HealthError) -> Self {
         ClusterError::Invalid(e.to_string())
     }
 }

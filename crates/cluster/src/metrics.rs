@@ -51,6 +51,65 @@ pub(crate) struct ClusterMetrics {
     pub p_error_bound: mzd_telemetry::Gauge,
 }
 
+/// Handles for every `health.*` series, created eagerly when
+/// [`crate::Cluster::enable_health`] is called — a health-enabled run
+/// that never probates anyone still exposes the full (zeroed) family.
+#[derive(Debug)]
+pub(crate) struct HealthMetrics {
+    /// `health.enabled` — `1` while the detector is attached.
+    pub enabled: mzd_telemetry::Gauge,
+    /// `health.suspicion.max` — highest per-node suspicion this round.
+    pub suspicion_max: mzd_telemetry::Gauge,
+    /// `health.nodes.probation` — nodes currently on probation.
+    pub nodes_probation: mzd_telemetry::Gauge,
+    /// `health.nodes.ejected` — nodes currently ejected.
+    pub nodes_ejected: mzd_telemetry::Gauge,
+    /// `health.probations` — probation entries so far.
+    pub probations: mzd_telemetry::Counter,
+    /// `health.ejections` — ejections so far.
+    pub ejections: mzd_telemetry::Counter,
+    /// `health.readmissions` — readmission trials begun so far.
+    pub readmissions: mzd_telemetry::Counter,
+    /// `health.clears` — probations cleared back to healthy.
+    pub clears: mzd_telemetry::Counter,
+    /// `health.hedges.issued` — hedged duplicate rounds dispatched.
+    pub hedges_issued: mzd_telemetry::Counter,
+    /// `health.hedges.won` — hedges the spare completed inside its
+    /// round slack (first-completion wins).
+    pub hedges_won: mzd_telemetry::Counter,
+    /// `health.hedge.slack_debited` — cumulative spare round-slack
+    /// spent on winning hedges, in seconds.
+    pub hedge_slack_debited: mzd_telemetry::Gauge,
+    /// `health.fleet.capacity` — the re-composed effective capacity.
+    pub fleet_capacity: mzd_telemetry::Gauge,
+    /// `health.fleet.degrade_rung` — 0 full, 1 re-composed, 2 frozen.
+    pub degrade_rung: mzd_telemetry::Gauge,
+    /// `health.admission.frozen` — `1` while submissions are refused.
+    pub admission_frozen: mzd_telemetry::Gauge,
+}
+
+impl HealthMetrics {
+    pub(crate) fn new() -> Self {
+        let g = mzd_telemetry::global();
+        Self {
+            enabled: g.gauge("health.enabled"),
+            suspicion_max: g.gauge("health.suspicion.max"),
+            nodes_probation: g.gauge("health.nodes.probation"),
+            nodes_ejected: g.gauge("health.nodes.ejected"),
+            probations: g.counter("health.probations"),
+            ejections: g.counter("health.ejections"),
+            readmissions: g.counter("health.readmissions"),
+            clears: g.counter("health.clears"),
+            hedges_issued: g.counter("health.hedges.issued"),
+            hedges_won: g.counter("health.hedges.won"),
+            hedge_slack_debited: g.gauge("health.hedge.slack_debited"),
+            fleet_capacity: g.gauge("health.fleet.capacity"),
+            degrade_rung: g.gauge("health.fleet.degrade_rung"),
+            admission_frozen: g.gauge("health.admission.frozen"),
+        }
+    }
+}
+
 impl ClusterMetrics {
     pub(crate) fn new() -> Self {
         let g = mzd_telemetry::global();

@@ -144,7 +144,7 @@ mod tests {
     fn ring_spreads_keys_roughly_uniformly() {
         let p = Placement::new(16).unwrap();
         let all = vec![true; 16];
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for seq in 0..16_000 {
             let n = p.primary(Placement::key_for(seq), &all).unwrap();
             counts[n as usize] += 1;

@@ -1,6 +1,12 @@
 //! Seeded, deterministic per-read fault injection.
 
-use crate::{FaultConfig, FaultProfile, FaultRng, RetryPolicy, StallDistribution};
+use crate::{FaultConfig, FaultProfile, FaultRng, GrayDegradation, RetryPolicy, StallDistribution};
+
+/// Salt mixed into the injector seed to key the private gray stream.
+/// Gray phase draws never touch the main fault stream, so enabling a
+/// gray profile does not shift the media/stall/remap draw sequence, and
+/// a `GrayDegradation::None` profile stays byte-identical.
+const GRAY_STREAM_SALT: u64 = 0x6E5F_6772_6179_5F73;
 
 /// What the injector did to one read.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +51,11 @@ pub struct FaultCounters {
     pub failed_reads: u64,
     /// Rounds the disk spent in an unavailability window.
     pub unavailable_rounds: u64,
+    /// Reads inflated by gray degradation (silent slowdowns).
+    pub gray_reads: u64,
+    /// Extra service time injected by gray degradation alone, in
+    /// seconds (also included in `fault_time`).
+    pub gray_time: f64,
     /// Total extra service time injected, in seconds.
     pub fault_time: f64,
 }
@@ -61,6 +72,8 @@ impl FaultCounters {
             remaps: self.remaps - earlier.remaps,
             failed_reads: self.failed_reads - earlier.failed_reads,
             unavailable_rounds: self.unavailable_rounds - earlier.unavailable_rounds,
+            gray_reads: self.gray_reads - earlier.gray_reads,
+            gray_time: self.gray_time - earlier.gray_time,
             fault_time: self.fault_time - earlier.fault_time,
         }
     }
@@ -78,10 +91,14 @@ pub struct FaultInjector {
     profile: FaultProfile,
     retry: RetryPolicy,
     rng: FaultRng,
+    gray_rng: FaultRng,
     current_round: u64,
     next_round: u64,
     unavail_left: u64,
     unavailable: bool,
+    gray_factor: f64,
+    gray_phase_down: bool,
+    gray_phase_left: u64,
     counters: FaultCounters,
 }
 
@@ -95,20 +112,48 @@ impl FaultInjector {
             profile: config.profile.clone(),
             retry: config.retry.clone(),
             rng: FaultRng::seeded(seed),
+            gray_rng: FaultRng::seeded(seed ^ GRAY_STREAM_SALT),
             current_round: 0,
             next_round: 0,
             unavail_left: 0,
             unavailable: false,
+            gray_factor: 1.0,
+            // Start flapping in a (virtual) degraded phase of length 0 so
+            // the first `begin_round` toggle lands on a healthy phase.
+            gray_phase_down: true,
+            gray_phase_left: 0,
             counters: FaultCounters::default(),
         }
     }
 
-    /// Advance to the next round: fixes the scenario multiplier for the
-    /// round's reads and draws/ages the unavailability window. Call once
-    /// per simulated round, before serving its requests.
+    /// Advance to the next round: fixes the scenario multiplier and gray
+    /// inflation factor for the round's reads and draws/ages the
+    /// unavailability window. Call once per simulated round, before
+    /// serving its requests.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn begin_round(&mut self) {
         self.current_round = self.next_round;
         self.next_round += 1;
+        if let GrayDegradation::Flapping {
+            factor,
+            mean_up,
+            mean_down,
+        } = self.profile.gray
+        {
+            if self.gray_phase_left == 0 {
+                self.gray_phase_down = !self.gray_phase_down;
+                let mean = if self.gray_phase_down {
+                    mean_down
+                } else {
+                    mean_up
+                };
+                self.gray_phase_left = self.gray_rng.exp(mean).ceil().clamp(1.0, 1e12) as u64;
+            }
+            self.gray_phase_left -= 1;
+            self.gray_factor = if self.gray_phase_down { factor } else { 1.0 };
+        } else {
+            self.gray_factor = self.profile.gray.factor(self.current_round);
+        }
         if self.unavail_left > 0 {
             self.unavail_left -= 1;
             self.unavailable = true;
@@ -132,6 +177,13 @@ impl FaultInjector {
     #[must_use]
     pub fn disk_unavailable(&self) -> bool {
         self.unavailable
+    }
+
+    /// The gray inflation multiplier fixed by the last
+    /// [`Self::begin_round`] (`1.0` when not degraded).
+    #[must_use]
+    pub fn gray_factor(&self) -> f64 {
+        self.gray_factor
     }
 
     /// The round index fixed by the last [`Self::begin_round`].
@@ -178,6 +230,17 @@ impl FaultInjector {
         let budget = slack.max(0.0);
         let mut extra = 0.0;
         let mut failed = false;
+
+        // Gray inflation stretches the transfer itself: it is service
+        // time, not recovery time, so it is charged outside the retry
+        // budget — the read succeeds but the round runs long, which is
+        // what silently burns the glitch budget.
+        if self.gray_factor > 1.0 {
+            let gray_extra = (self.gray_factor - 1.0) * transfer.max(0.0);
+            extra += gray_extra;
+            self.counters.gray_reads += 1;
+            self.counters.gray_time += gray_extra;
+        }
 
         if self.rng.bernoulli(scaled(self.profile.p_stall, f)) {
             let raw = match self.profile.stall_dist {
@@ -358,6 +421,91 @@ mod tests {
         assert!(hit.extra_time > 0.0 || hit.failed);
         let miss = inj.perturb_read(0, 0.01, 0.011, 0.02, 10.0);
         assert_eq!(miss, ReadPerturbation::none());
+    }
+
+    #[test]
+    fn gray_slow_inflates_without_failing() {
+        let cfg = FaultConfig::preset("graynode").unwrap();
+        let mut inj = FaultInjector::new(&cfg, 3);
+        inj.begin_round();
+        assert_eq!(inj.gray_factor(), 1.6);
+        let p = inj.perturb_read(0, 0.010, 0.011, 0.02, 0.5);
+        assert!(!p.failed);
+        assert_eq!(p.retry_time, 0.0);
+        assert!((p.extra_time - 0.006).abs() < 1e-12, "{}", p.extra_time);
+        let c = inj.counters();
+        assert_eq!(c.gray_reads, 1);
+        assert!((c.gray_time - 0.006).abs() < 1e-12);
+        assert_eq!(c.fault_time, c.gray_time);
+        assert_eq!(c.failed_reads, 0);
+    }
+
+    #[test]
+    fn gray_stream_is_private() {
+        // Enabling gray must not shift the main fault stream: a media
+        // profile with and without gray draws identical media outcomes.
+        let plain = FaultConfig::parse("media=0.1").unwrap();
+        let grayed = FaultConfig::parse("media=0.1, gray=flap:2:10:5").unwrap();
+        let run = |cfg: &FaultConfig| {
+            let mut inj = FaultInjector::new(cfg, 21);
+            let mut out = Vec::new();
+            for _ in 0..200 {
+                inj.begin_round();
+                for _ in 0..4 {
+                    let p = inj.perturb_read(0, 0.01, 0.011, 0.02, 0.5);
+                    out.push((p.failed, p.retry_time.to_bits()));
+                }
+            }
+            out
+        };
+        assert_eq!(run(&plain), run(&grayed));
+    }
+
+    #[test]
+    fn gray_none_is_byte_identical_to_clean() {
+        let mut inj = FaultInjector::new(&FaultConfig::default(), 7);
+        for _ in 0..32 {
+            inj.begin_round();
+            assert_eq!(inj.gray_factor(), 1.0);
+            let p = inj.perturb_read(0, 0.01, 0.011, 0.02, 0.5);
+            assert_eq!(p, ReadPerturbation::none());
+        }
+        assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn flapping_alternates_phases_deterministically() {
+        let cfg = FaultConfig::preset("flappy").unwrap();
+        let run = || {
+            let mut inj = FaultInjector::new(&cfg, 13);
+            (0..600)
+                .map(|_| {
+                    inj.begin_round();
+                    inj.gray_factor().to_bits()
+                })
+                .collect::<Vec<u64>>()
+        };
+        let factors = run();
+        assert_eq!(factors, run());
+        let up = factors.iter().filter(|&&f| f == 1.0f64.to_bits()).count();
+        let down = factors.len() - up;
+        assert!(up > 0 && down > 0, "up {up} down {down}");
+        // First phase is healthy: the node starts out looking fine.
+        assert_eq!(factors[0], 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn creep_ramps_to_peak() {
+        let cfg = FaultConfig::preset("creep").unwrap();
+        let mut inj = FaultInjector::new(&cfg, 2);
+        let mut last = 0.0f64;
+        for round in 0..500u64 {
+            inj.begin_round();
+            let f = inj.gray_factor();
+            assert!(f >= last, "round {round}: {f} < {last}");
+            last = f;
+        }
+        assert_eq!(last, 2.5);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod rng;
 
 pub use injector::{FaultCounters, FaultInjector, ReadPerturbation};
 pub use model::FaultModel;
-pub use profile::{ChaosScenario, FaultConfig, FaultProfile, StallDistribution};
+pub use profile::{ChaosScenario, FaultConfig, FaultProfile, GrayDegradation, StallDistribution};
 pub use retry::RetryPolicy;
 pub use rng::FaultRng;
 

@@ -107,6 +107,75 @@ impl ChaosScenario {
     }
 }
 
+/// A gray-failure shape: the disk stays alive and answers every read,
+/// but its service times inflate. Unlike the hard impairments above,
+/// gray degradation never fails a read outright — it silently burns the
+/// glitch budget of every hosted stream, which is exactly what makes it
+/// invisible to lease-expiry failure detection.
+///
+/// The inflation multiplies each read's transfer time; the surplus is
+/// charged to the fault component so the per-disk decomposition identity
+/// (`seek + rotation + transfer + stall + fault = service`) still holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GrayDegradation {
+    /// No gray degradation; injecting is byte-identical to not.
+    None,
+    /// Persistently slow: every read's transfer inflated by `factor`.
+    Slow {
+        /// Service-time inflation multiplier (`≥ 1`).
+        factor: f64,
+    },
+    /// Flapping: alternates healthy and degraded phases whose lengths
+    /// (in rounds) are drawn from exponentials on a private RNG stream.
+    Flapping {
+        /// Inflation multiplier while degraded (`≥ 1`).
+        factor: f64,
+        /// Mean healthy-phase length in rounds (`> 0`).
+        mean_up: f64,
+        /// Mean degraded-phase length in rounds (`> 0`).
+        mean_down: f64,
+    },
+    /// Creeping degradation: inflation ramps linearly from `1` at
+    /// `start` to `peak` over `rounds`, then stays at `peak` — a drive
+    /// wearing out slowly enough to evade threshold-only detection.
+    Creep {
+        /// Round where the creep begins.
+        start: u64,
+        /// Rounds over which the multiplier climbs to `peak`.
+        rounds: u64,
+        /// Final (and sustained) inflation multiplier (`≥ 1`).
+        peak: f64,
+    },
+}
+
+impl GrayDegradation {
+    /// The deterministic part of the inflation multiplier for `round`.
+    /// [`GrayDegradation::Flapping`] returns its degraded-phase factor;
+    /// whether the phase is active is the injector's (RNG-driven) state.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn factor(&self, round: u64) -> f64 {
+        match *self {
+            GrayDegradation::None => 1.0,
+            GrayDegradation::Slow { factor } | GrayDegradation::Flapping { factor, .. } => factor,
+            GrayDegradation::Creep {
+                start,
+                rounds,
+                peak,
+            } => {
+                if round < start {
+                    1.0
+                } else if rounds == 0 || round >= start.saturating_add(rounds) {
+                    peak
+                } else {
+                    let t = (round - start) as f64 / rounds as f64;
+                    1.0 + t * (peak - 1.0)
+                }
+            }
+        }
+    }
+}
+
 /// Per-read impairment rates and costs. All probabilities are per
 /// fragment read; costs are in the same units the simulator uses
 /// (seconds for times, fractions of a full-stroke seek for the remap).
@@ -134,6 +203,11 @@ pub struct FaultProfile {
     pub unavail_rounds: u64,
     /// Scripted schedule multiplying the probabilities above.
     pub scenario: ChaosScenario,
+    /// Gray-failure shape: silent service-time inflation that never
+    /// fails a read. Drawn (for flapping phase lengths) from a private
+    /// RNG stream so `None` stays byte-identical and enabling gray does
+    /// not shift the media/stall/remap draw sequence.
+    pub gray: GrayDegradation,
 }
 
 impl Default for FaultProfile {
@@ -149,6 +223,7 @@ impl Default for FaultProfile {
             p_unavail: 0.0,
             unavail_rounds: 1,
             scenario: ChaosScenario::None,
+            gray: GrayDegradation::None,
         }
     }
 }
@@ -169,6 +244,17 @@ impl FaultProfile {
             && self.p_remap == 0.0
             && self.p_unavail == 0.0
             && self.scenario == ChaosScenario::None
+            && self.gray == GrayDegradation::None
+    }
+
+    /// The same profile with its gray degradation removed: this is what
+    /// every node except the designated gray node runs in a fleet.
+    #[must_use]
+    pub fn without_gray(&self) -> Self {
+        Self {
+            gray: GrayDegradation::None,
+            ..self.clone()
+        }
     }
 
     /// The same profile with its chaos schedule removed.
@@ -251,6 +337,39 @@ impl FaultProfile {
                 }
             }
         }
+        match self.gray {
+            GrayDegradation::None => {}
+            GrayDegradation::Slow { factor } => {
+                if !(factor >= 1.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "gray slow factor must be ≥ 1, got {factor}"
+                    )));
+                }
+            }
+            GrayDegradation::Flapping {
+                factor,
+                mean_up,
+                mean_down,
+            } => {
+                if !(factor >= 1.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "gray flap factor must be ≥ 1, got {factor}"
+                    )));
+                }
+                if !(mean_up > 0.0) || !(mean_down > 0.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "gray flap phase means must be > 0, got up {mean_up} / down {mean_down}"
+                    )));
+                }
+            }
+            GrayDegradation::Creep { peak, .. } => {
+                if !(peak >= 1.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "gray creep peak must be ≥ 1, got {peak}"
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -285,7 +404,12 @@ impl FaultConfig {
     /// * `flaky` — 1 % media errors plus exponential stalls and remaps;
     /// * `degrading` — `flaky` rates under a degrading-disk ramp to 8×;
     /// * `zonefail` — 0.5 % media errors with a 20× correlated failure
-    ///   of zone 0 between rounds 200 and 600.
+    ///   of zone 0 between rounds 200 and 600;
+    /// * `graynode` — a persistently slow gray node (1.6× transfer);
+    /// * `flappy` — a flapping gray node (2× while degraded, mean 40
+    ///   rounds up / 20 rounds down);
+    /// * `creep` — creeping degradation ramping to 2.5× over rounds
+    ///   40–440.
     ///
     /// # Errors
     /// [`FaultError::Invalid`] for an unknown preset name.
@@ -325,9 +449,30 @@ impl FaultConfig {
                 },
                 ..FaultProfile::default()
             },
+            "graynode" => FaultProfile {
+                gray: GrayDegradation::Slow { factor: 1.6 },
+                ..FaultProfile::default()
+            },
+            "flappy" => FaultProfile {
+                gray: GrayDegradation::Flapping {
+                    factor: 2.0,
+                    mean_up: 40.0,
+                    mean_down: 20.0,
+                },
+                ..FaultProfile::default()
+            },
+            "creep" => FaultProfile {
+                gray: GrayDegradation::Creep {
+                    start: 40,
+                    rounds: 400,
+                    peak: 2.5,
+                },
+                ..FaultProfile::default()
+            },
             other => {
                 return Err(FaultError::Invalid(format!(
-                    "unknown fault preset `{other}` (clean, media1pct, flaky, degrading, zonefail)"
+                    "unknown fault preset `{other}` (clean, media1pct, flaky, degrading, \
+                     zonefail, graynode, flappy, creep)"
                 )))
             }
         };
@@ -347,6 +492,7 @@ impl FaultConfig {
     /// remap=P[:FACTOR]             remap rate, fraction of a full seek
     /// unavail=P:ROUNDS             per-round unavailability windows
     /// scenario=burst:S:L:F | ramp:S:L:PEAK | zonefail:Z:S:L:F
+    /// gray=slow:F | flap:F:UP:DOWN | creep:S:L:PEAK
     /// retries=N                    attempts per read (including first)
     /// timeout=SECS                 per-attempt stall clamp
     /// backoff=BASE:FACTOR:CAP[:JITTER]
@@ -402,6 +548,9 @@ impl FaultConfig {
                 }
                 "scenario" => {
                     cfg.profile.scenario = parse_scenario(&parts)?;
+                }
+                "gray" => {
+                    cfg.profile.gray = parse_gray(&parts)?;
                 }
                 "retries" => {
                     let n = int(parts[0], "retries")?;
@@ -476,19 +625,86 @@ fn parse_scenario(parts: &[&str]) -> Result<ChaosScenario, FaultError> {
     }
 }
 
+fn parse_gray(parts: &[&str]) -> Result<GrayDegradation, FaultError> {
+    match parts.first().copied() {
+        Some("none") => Ok(GrayDegradation::None),
+        Some("slow") if parts.len() == 2 => Ok(GrayDegradation::Slow {
+            factor: num(parts[1], "gray slow factor")?,
+        }),
+        Some("flap") if parts.len() == 4 => Ok(GrayDegradation::Flapping {
+            factor: num(parts[1], "gray flap factor")?,
+            mean_up: num(parts[2], "gray flap mean up")?,
+            mean_down: num(parts[3], "gray flap mean down")?,
+        }),
+        Some("creep") if parts.len() == 4 => Ok(GrayDegradation::Creep {
+            start: int(parts[1], "gray creep start")?,
+            rounds: int(parts[2], "gray creep length")?,
+            peak: num(parts[3], "gray creep peak")?,
+        }),
+        _ => Err(FaultError::Invalid(format!(
+            "gray expects slow:F, flap:F:UP:DOWN or creep:S:L:PEAK, got `{}`",
+            parts.join(":")
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn presets_validate() {
-        for name in ["clean", "media1pct", "flaky", "degrading", "zonefail"] {
+        for name in [
+            "clean",
+            "media1pct",
+            "flaky",
+            "degrading",
+            "zonefail",
+            "graynode",
+            "flappy",
+            "creep",
+        ] {
             let cfg = FaultConfig::preset(name).unwrap();
             cfg.validate().unwrap();
         }
         assert!(FaultConfig::preset("nope").is_err());
         assert!(FaultConfig::preset("clean").unwrap().profile.is_clean());
         assert!(!FaultConfig::preset("flaky").unwrap().profile.is_clean());
+        assert!(!FaultConfig::preset("graynode").unwrap().profile.is_clean());
+        assert!(FaultConfig::preset("graynode")
+            .unwrap()
+            .profile
+            .without_gray()
+            .is_clean());
+    }
+
+    #[test]
+    fn gray_parse_and_factor() {
+        let slow = FaultConfig::parse("gray=slow:1.5").unwrap();
+        assert_eq!(slow.profile.gray, GrayDegradation::Slow { factor: 1.5 });
+        assert_eq!(slow.profile.gray.factor(0), 1.5);
+
+        let flap = FaultConfig::parse("gray=flap:2:40:20").unwrap();
+        assert_eq!(
+            flap.profile.gray,
+            GrayDegradation::Flapping {
+                factor: 2.0,
+                mean_up: 40.0,
+                mean_down: 20.0
+            }
+        );
+
+        let creep = FaultConfig::parse("gray=creep:100:100:3").unwrap();
+        assert_eq!(creep.profile.gray.factor(0), 1.0);
+        assert_eq!(creep.profile.gray.factor(100), 1.0);
+        assert_eq!(creep.profile.gray.factor(150), 2.0);
+        assert_eq!(creep.profile.gray.factor(200), 3.0);
+        assert_eq!(creep.profile.gray.factor(10_000), 3.0);
+
+        assert!(FaultConfig::parse("gray=slow:0.5").is_err());
+        assert!(FaultConfig::parse("gray=flap:2:0:20").is_err());
+        assert!(FaultConfig::parse("gray=creep:1:1").is_err());
+        assert!(FaultConfig::parse("gray=warp:2").is_err());
     }
 
     #[test]

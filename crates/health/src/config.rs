@@ -1,0 +1,161 @@
+//! Detector tuning knobs and their validation.
+
+use crate::HealthError;
+
+/// Tuning for the suspicion scorer and the probation/ejection state
+/// machine. The defaults are sized for paper-reference fleets (rounds
+/// of ~1 s, 3–64 nodes) and detect a 1.5× persistent slowdown within a
+/// few dozen rounds while tolerating ordinary service-time noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Rounds of observation before any state transition is allowed.
+    /// Scores accumulate during warmup; they just cannot eject anyone,
+    /// so a cold fleet's noisy first rounds never trigger probation.
+    pub warmup_rounds: u64,
+    /// CUSUM drift: the robust z-score a node must *exceed* each round
+    /// for suspicion to grow. Larger values demand a more flagrant
+    /// outlier before suspicion accumulates.
+    pub drift: f64,
+    /// Suspicion at which a healthy node enters probation (hedged
+    /// dispatch starts).
+    pub raise_threshold: f64,
+    /// Suspicion at which a probated node is ejected (streams migrate,
+    /// guarantee re-composes).
+    pub eject_threshold: f64,
+    /// Suspicion at or below which a probated node is considered calm.
+    pub clear_threshold: f64,
+    /// Consecutive calm rounds required before probation clears — the
+    /// hysteresis that keeps a flapping node from bouncing in and out
+    /// of probation on every phase edge.
+    pub clear_rounds: u32,
+    /// Ejected rounds before the first readmission trial (the node
+    /// re-enters probation and must prove itself under hedged dispatch).
+    pub readmit_after: u64,
+    /// Multiplier on the readmission delay after each failed trial, so
+    /// a permanently gray node's trials grow sparser geometrically.
+    pub readmit_backoff: f64,
+    /// Floor on the round's service-time spread, as a fraction of the
+    /// fleet median. Guards the z-score against near-zero MAD rounds
+    /// (e.g. an almost perfectly uniform fleet) blowing up suspicion
+    /// over harmless nanosecond differences.
+    pub spread_floor_fraction: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            warmup_rounds: 16,
+            drift: 1.0,
+            raise_threshold: 6.0,
+            eject_threshold: 12.0,
+            clear_threshold: 1.0,
+            clear_rounds: 4,
+            readmit_after: 400,
+            readmit_backoff: 2.0,
+            spread_floor_fraction: 0.05,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Validate ranges.
+    ///
+    /// # Errors
+    /// [`HealthError::Invalid`] when thresholds are non-positive, out of
+    /// order (`clear < raise < eject` is required), or any knob is NaN.
+    pub fn validate(&self) -> Result<(), HealthError> {
+        for (name, v) in [
+            ("drift", self.drift),
+            ("raise threshold", self.raise_threshold),
+            ("eject threshold", self.eject_threshold),
+            ("clear threshold", self.clear_threshold),
+            ("spread floor fraction", self.spread_floor_fraction),
+        ] {
+            if !(v > 0.0) {
+                return Err(HealthError::Invalid(format!("{name} must be > 0, got {v}")));
+            }
+        }
+        if !(self.clear_threshold < self.raise_threshold) {
+            return Err(HealthError::Invalid(format!(
+                "clear threshold ({}) must be below the raise threshold ({})",
+                self.clear_threshold, self.raise_threshold
+            )));
+        }
+        if !(self.raise_threshold < self.eject_threshold) {
+            return Err(HealthError::Invalid(format!(
+                "raise threshold ({}) must be below the eject threshold ({})",
+                self.raise_threshold, self.eject_threshold
+            )));
+        }
+        if self.clear_rounds == 0 {
+            return Err(HealthError::Invalid(
+                "clear rounds must be ≥ 1 (zero would clear instantly)".into(),
+            ));
+        }
+        if self.readmit_after == 0 {
+            return Err(HealthError::Invalid(
+                "readmission delay must be ≥ 1 round".into(),
+            ));
+        }
+        if !(self.readmit_backoff >= 1.0) {
+            return Err(HealthError::Invalid(format!(
+                "readmission backoff must be ≥ 1, got {}",
+                self.readmit_backoff
+            )));
+        }
+        Ok(())
+    }
+
+    /// The readmission delay before trial number `trials` (0-based),
+    /// growing geometrically and saturating instead of overflowing.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    pub fn readmit_delay(&self, trials: u32) -> u64 {
+        let scaled = self.readmit_after as f64 * self.readmit_backoff.powi(trials.min(63) as i32);
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        HealthConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn ordering_enforced() {
+        let mut cfg = HealthConfig {
+            raise_threshold: 12.0,
+            eject_threshold: 6.0,
+            ..HealthConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.eject_threshold = 12.0;
+        cfg.clear_threshold = 12.0;
+        assert!(cfg.validate().is_err());
+        cfg.clear_threshold = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn readmit_delay_backs_off_and_saturates() {
+        let cfg = HealthConfig::default();
+        assert_eq!(cfg.readmit_delay(0), 400);
+        assert_eq!(cfg.readmit_delay(1), 800);
+        assert_eq!(cfg.readmit_delay(2), 1600);
+        assert_eq!(cfg.readmit_delay(1000), cfg.readmit_delay(63));
+        let flat = HealthConfig {
+            readmit_backoff: 1.0,
+            ..HealthConfig::default()
+        };
+        assert_eq!(flat.readmit_delay(5), 400);
+    }
+}

@@ -1,0 +1,427 @@
+//! Suspicion scoring and the probation/ejection/readmission machine.
+
+use crate::{HealthConfig, HealthError};
+
+/// Floor on the spread used for z-scores, in sample units. Guards the
+/// degenerate all-identical round (spread exactly zero).
+const SPREAD_EPSILON: f64 = 1e-12;
+
+/// Minimum sampled nodes in a round for the fleet baseline to mean
+/// anything: with fewer than three, the "median" is dominated by the
+/// suspect itself and a slow node could hide its own deviation.
+const MIN_BASELINE_SAMPLES: usize = 3;
+
+/// Where a node stands in the health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Serving normally.
+    Healthy,
+    /// Under suspicion: still serving, but every round its oldest
+    /// stream's reads are hedged on a spare node.
+    Probation,
+    /// Removed from dispatch; its streams have migrated and the fleet
+    /// guarantee has been re-composed without it.
+    Ejected,
+}
+
+/// One node's detector state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeHealthState {
+    /// Current position in the state machine.
+    pub health: NodeHealth,
+    /// Accumulated suspicion (the CUSUM statistic). Zero-floored;
+    /// compared against the config thresholds each round.
+    pub suspicion: f64,
+    /// Consecutive calm probation rounds so far (clear hysteresis).
+    pub below_clear: u32,
+    /// Round at which the node was last ejected (meaningful only while
+    /// `health == Ejected`).
+    pub ejected_at: u64,
+    /// Readmission trials begun so far: scales the geometric trial
+    /// backoff, reset when a probation actually clears.
+    pub trials: u32,
+}
+
+impl NodeHealthState {
+    fn healthy() -> Self {
+        Self {
+            health: NodeHealth::Healthy,
+            suspicion: 0.0,
+            below_clear: 0,
+            ejected_at: 0,
+            trials: 0,
+        }
+    }
+}
+
+/// What one round of observation decided, in node-index order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthRoundOutcome {
+    /// Nodes that entered probation this round.
+    pub probated: Vec<u32>,
+    /// Nodes ejected this round (caller must migrate their streams and
+    /// re-compose the fleet guarantee).
+    pub ejected: Vec<u32>,
+    /// Ejected nodes readmitted to a probation trial this round (caller
+    /// may dispatch to them again, hedged).
+    pub readmitted: Vec<u32>,
+    /// Probated nodes whose suspicion cleared this round.
+    pub cleared: Vec<u32>,
+    /// Highest suspicion across the fleet after this round's update.
+    pub max_suspicion: f64,
+}
+
+impl HealthRoundOutcome {
+    /// Whether this round changed any node's state.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.probated.is_empty()
+            && self.ejected.is_empty()
+            && self.readmitted.is_empty()
+            && self.cleared.is_empty()
+    }
+}
+
+/// Deterministic per-node suspicion scoring over a robust fleet
+/// baseline, plus the probation → ejection → readmission machine.
+///
+/// Feed [`HealthDetector::observe`] once per round with each node's
+/// service-time sample (the same per-node maxima the observability
+/// sketches record) — `None` for nodes that did not step or are
+/// ejected. Everything downstream is a pure function of that sequence:
+/// no clocks, no randomness, so a seeded fleet run produces the same
+/// ejection schedule at any `--jobs` width.
+#[derive(Debug, Clone)]
+pub struct HealthDetector {
+    cfg: HealthConfig,
+    nodes: Vec<NodeHealthState>,
+    rounds_observed: u64,
+}
+
+impl HealthDetector {
+    /// A detector for `nodes` nodes.
+    ///
+    /// # Errors
+    /// [`HealthError::Invalid`] for a zero-node fleet or a config that
+    /// fails validation.
+    pub fn new(cfg: HealthConfig, nodes: u32) -> Result<Self, HealthError> {
+        cfg.validate()?;
+        if nodes == 0 {
+            return Err(HealthError::Invalid(
+                "a health detector needs at least one node".into(),
+            ));
+        }
+        Ok(Self {
+            cfg,
+            nodes: vec![NodeHealthState::healthy(); nodes as usize],
+            rounds_observed: 0,
+        })
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// One node's full state.
+    ///
+    /// # Panics
+    /// If `node` is out of range.
+    #[must_use]
+    pub fn node(&self, node: u32) -> &NodeHealthState {
+        &self.nodes[node as usize]
+    }
+
+    /// Whether `node` is currently ejected.
+    #[must_use]
+    pub fn is_ejected(&self, node: u32) -> bool {
+        self.nodes[node as usize].health == NodeHealth::Ejected
+    }
+
+    /// Whether `node` is currently on probation.
+    #[must_use]
+    pub fn is_probated(&self, node: u32) -> bool {
+        self.nodes[node as usize].health == NodeHealth::Probation
+    }
+
+    /// How many nodes are currently ejected.
+    #[must_use]
+    pub fn ejected_count(&self) -> u32 {
+        self.count(NodeHealth::Ejected)
+    }
+
+    /// How many nodes are currently on probation.
+    #[must_use]
+    pub fn probation_count(&self) -> u32 {
+        self.count(NodeHealth::Probation)
+    }
+
+    fn count(&self, health: NodeHealth) -> u32 {
+        u32::try_from(self.nodes.iter().filter(|n| n.health == health).count()).unwrap_or(u32::MAX)
+    }
+
+    /// Ingest one round of per-node service-time samples and run the
+    /// state machine. `samples[i]` is node `i`'s observed service time
+    /// this round (`None` when the node did not serve — ejected, down,
+    /// or idle). Returns the transitions taken, in node-index order.
+    ///
+    /// # Panics
+    /// If `samples.len()` differs from the fleet size.
+    pub fn observe(&mut self, round: u64, samples: &[Option<f64>]) -> HealthRoundOutcome {
+        assert_eq!(
+            samples.len(),
+            self.nodes.len(),
+            "one sample slot per node, None for silent nodes"
+        );
+        self.rounds_observed += 1;
+        let mut outcome = HealthRoundOutcome::default();
+
+        // Robust fleet baseline: median and MAD over the round's actual
+        // samples. Resistant to the suspect itself (one gray node moves
+        // the mean but barely moves the median of a 16-node fleet).
+        let mut sampled: Vec<f64> = samples.iter().copied().flatten().collect();
+        if sampled.len() >= MIN_BASELINE_SAMPLES {
+            let median = median_in_place(&mut sampled);
+            let mut deviations: Vec<f64> = sampled.iter().map(|x| (x - median).abs()).collect();
+            let mad = median_in_place(&mut deviations);
+            let spread = mad
+                .max(self.cfg.spread_floor_fraction * median.abs())
+                .max(SPREAD_EPSILON);
+            for (i, sample) in samples.iter().enumerate() {
+                if let Some(x) = *sample {
+                    let z = (x - median) / spread;
+                    let state = &mut self.nodes[i];
+                    state.suspicion = (state.suspicion + z - self.cfg.drift).max(0.0);
+                }
+            }
+        }
+
+        let warmed_up = self.rounds_observed > self.cfg.warmup_rounds;
+        for (i, state) in self.nodes.iter_mut().enumerate() {
+            let node = u32::try_from(i).expect("fleet sizes fit in u32");
+            if warmed_up {
+                match state.health {
+                    NodeHealth::Healthy => {
+                        if state.suspicion >= self.cfg.raise_threshold {
+                            state.health = NodeHealth::Probation;
+                            state.below_clear = 0;
+                            outcome.probated.push(node);
+                        }
+                    }
+                    NodeHealth::Probation => {}
+                    NodeHealth::Ejected => {
+                        let delay = self.cfg.readmit_delay(state.trials.saturating_sub(1));
+                        if round.saturating_sub(state.ejected_at) >= delay {
+                            state.health = NodeHealth::Probation;
+                            state.suspicion = self.cfg.raise_threshold;
+                            state.below_clear = 0;
+                            outcome.readmitted.push(node);
+                        }
+                    }
+                }
+                if state.health == NodeHealth::Probation {
+                    if state.suspicion >= self.cfg.eject_threshold {
+                        state.health = NodeHealth::Ejected;
+                        state.ejected_at = round;
+                        state.trials = state.trials.saturating_add(1);
+                        outcome.ejected.push(node);
+                    } else if state.suspicion <= self.cfg.clear_threshold {
+                        state.below_clear += 1;
+                        if state.below_clear >= self.cfg.clear_rounds {
+                            state.health = NodeHealth::Healthy;
+                            state.below_clear = 0;
+                            state.trials = 0;
+                            outcome.cleared.push(node);
+                        }
+                    } else {
+                        state.below_clear = 0;
+                    }
+                }
+            }
+            outcome.max_suspicion = outcome.max_suspicion.max(state.suspicion);
+        }
+        outcome
+    }
+}
+
+/// The median of `values` (sorted in place; total order via
+/// `f64::total_cmp`, so NaN inputs cannot panic the comparator).
+/// Returns 0 for an empty slice.
+fn median_in_place(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(nodes: u32) -> HealthDetector {
+        HealthDetector::new(HealthConfig::default(), nodes).unwrap()
+    }
+
+    /// Feed a fleet where node 0 runs at `inflation`× the base service
+    /// time and the rest sit at 1.0, for `rounds` rounds starting at
+    /// `start`. Returns every outcome.
+    fn run_skewed(
+        det: &mut HealthDetector,
+        start: u64,
+        rounds: u64,
+        inflation: f64,
+    ) -> Vec<HealthRoundOutcome> {
+        let n = det.nodes.len();
+        (start..start + rounds)
+            .map(|round| {
+                let samples: Vec<Option<f64>> = (0..n)
+                    .map(|i| {
+                        if det.is_ejected(u32::try_from(i).unwrap()) {
+                            None
+                        } else if i == 0 {
+                            Some(inflation)
+                        } else {
+                            // Tiny deterministic jitter so the MAD is not
+                            // degenerate in the healthy pack.
+                            Some(1.0 + 0.001 * ((i + round as usize) % 7) as f64)
+                        }
+                    })
+                    .collect();
+                det.observe(round, &samples)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_fleet_stays_healthy() {
+        let mut det = detector(8);
+        let outcomes = run_skewed(&mut det, 0, 200, 1.0);
+        assert!(outcomes.iter().all(HealthRoundOutcome::is_quiet));
+        assert_eq!(det.ejected_count(), 0);
+        assert_eq!(det.probation_count(), 0);
+    }
+
+    #[test]
+    fn slow_node_is_probated_then_ejected() {
+        let mut det = detector(8);
+        let outcomes = run_skewed(&mut det, 0, 120, 1.5);
+        let probate_round = outcomes.iter().position(|o| o.probated == vec![0]);
+        let eject_round = outcomes.iter().position(|o| o.ejected == vec![0]);
+        let probate_round = probate_round.expect("slow node must be probated");
+        let eject_round = eject_round.expect("slow node must be ejected");
+        assert!(probate_round <= eject_round);
+        assert!(
+            probate_round as u64 >= HealthConfig::default().warmup_rounds,
+            "no transitions during warmup"
+        );
+        assert!(det.is_ejected(0));
+        assert_eq!(det.ejected_count(), 1);
+    }
+
+    #[test]
+    fn warmup_suppresses_transitions() {
+        let cfg = HealthConfig {
+            warmup_rounds: 50,
+            ..HealthConfig::default()
+        };
+        let mut det = HealthDetector::new(cfg, 8).unwrap();
+        let outcomes = run_skewed(&mut det, 0, 50, 10.0);
+        assert!(outcomes.iter().all(HealthRoundOutcome::is_quiet));
+        assert!(det.node(0).suspicion > 0.0, "scores accumulate in warmup");
+    }
+
+    #[test]
+    fn recovered_probation_clears_with_hysteresis() {
+        let mut det = detector(8);
+        // Degrade mildly: the z-score barely clears the drift, so
+        // suspicion climbs past the raise threshold but not the eject
+        // threshold within 20 rounds...
+        let mut outcomes = run_skewed(&mut det, 0, 20, 1.075);
+        assert!(det.is_probated(0), "suspicion {}", det.node(0).suspicion);
+        assert!(det.node(0).suspicion < det.config().eject_threshold);
+        // ...then recover: suspicion decays by drift per round, and the
+        // clear needs `clear_rounds` consecutive calm rounds.
+        outcomes.extend(run_skewed(&mut det, 20, 40, 1.0));
+        let cleared = outcomes.iter().any(|o| o.cleared == vec![0]);
+        assert!(cleared, "recovered node must clear probation");
+        assert!(!det.is_probated(0));
+        assert_eq!(det.node(0).trials, 0);
+    }
+
+    #[test]
+    fn ejected_node_gets_readmission_trials_with_backoff() {
+        let cfg = HealthConfig {
+            readmit_after: 30,
+            readmit_backoff: 2.0,
+            ..HealthConfig::default()
+        };
+        let mut det = HealthDetector::new(cfg, 8).unwrap();
+        let outcomes = run_skewed(&mut det, 0, 400, 2.0);
+        let ejections: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.ejected == vec![0])
+            .map(|(r, _)| r)
+            .collect();
+        let readmissions: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.readmitted == vec![0])
+            .map(|(r, _)| r)
+            .collect();
+        assert!(ejections.len() >= 2, "trials must re-eject: {ejections:?}");
+        assert!(!readmissions.is_empty());
+        // Each readmission happens no earlier than the backed-off delay.
+        for (k, (eject, readmit)) in ejections.iter().zip(&readmissions).enumerate() {
+            let delay = 30 * (1u64 << k);
+            assert!(
+                (readmit - eject) as u64 >= delay,
+                "trial {k}: ejected at {eject}, readmitted at {readmit}, delay {delay}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_samples_skip_scoring() {
+        let mut det = detector(4);
+        for round in 0..100 {
+            let out = det.observe(round, &[Some(50.0), Some(1.0), None, None]);
+            assert!(out.is_quiet());
+        }
+        assert_eq!(det.node(0).suspicion, 0.0);
+    }
+
+    #[test]
+    fn observe_is_deterministic() {
+        let run = || {
+            let mut det = detector(6);
+            run_skewed(&mut det, 0, 150, 1.6)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median_in_place(&mut []), 0.0);
+        assert_eq!(median_in_place(&mut [3.0]), 3.0);
+        assert_eq!(median_in_place(&mut [1.0, 2.0]), 1.5);
+        assert_eq!(median_in_place(&mut [5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_input() {
+        assert!(HealthDetector::new(HealthConfig::default(), 0).is_err());
+        let bad = HealthConfig {
+            drift: 0.0,
+            ..HealthConfig::default()
+        };
+        assert!(HealthDetector::new(bad, 4).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic gray-failure detection for multi-zone disk fleets.
+//!
+//! A *gray* node is slow but alive: it answers every read, renews its
+//! lease, and never trips the hard-failure path — while silently
+//! burning the glitch budget of every stream it hosts. The paper's
+//! composed guarantee `p_error_stream = HR(p, m, g−ℓ)` prices hard
+//! outages through the lease debit `ℓ`, but a gray node sits outside
+//! that model entirely, so the fleet needs a detector that sees it in
+//! the observable it actually corrupts: per-node service time.
+//!
+//! This crate supplies the detection half of that loop:
+//!
+//! * [`HealthDetector`] — per-node suspicion scores in the spirit of
+//!   phi-accrual failure detectors, but computed as a CUSUM over a
+//!   robust fleet baseline (median / MAD of the round's per-node
+//!   service times) so they are a pure function of
+//!   `(config, sample sequence)`. No wall clocks, no RNG: byte-identical
+//!   across reruns and worker counts by construction.
+//! * A **probation → ejection → readmission** state machine with
+//!   raise/clear hysteresis mirroring the SLO burn-rate engine, plus
+//!   exponential trial backoff so a persistently gray node is not
+//!   readmitted at a fixed cadence forever.
+//! * [`recompose`] — the re-priced fleet guarantee after ejections: the
+//!   spare is promoted, capacity is debited, and `p_error_any` is
+//!   recomputed; an over-committed fleet freezes admission.
+//!
+//! The dispatch-side reactions (hedged dispatch for probated nodes,
+//! stream migration off ejected ones) live in `mzd-cluster`, which owns
+//! the streams; this crate owns the decisions.
+
+#![warn(missing_docs)]
+
+mod config;
+mod detector;
+mod recompose;
+
+pub use config::HealthConfig;
+pub use detector::{HealthDetector, HealthRoundOutcome, NodeHealth, NodeHealthState};
+pub use recompose::{recompose, RecomposedGuarantee};
+
+/// Errors from health configuration or detector construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthError {
+    /// A parameter was out of range; the message says which and why.
+    Invalid(String),
+}
+
+impl std::fmt::Display for HealthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthError::Invalid(msg) => write!(f, "invalid health config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HealthError {}

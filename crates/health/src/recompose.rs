@@ -1,0 +1,115 @@
+//! Re-priced fleet guarantee arithmetic after gray-node ejections.
+//!
+//! The cluster composes `p_error_any = min(1, fleet_capacity ·
+//! p_error_stream)` with one node held out as a spare. Ejecting a gray
+//! node promotes that spare into service — the per-stream bound
+//! `p_error_stream` is unchanged (each surviving node still runs at the
+//! same per-disk admission level `n*`) but the union bound must be
+//! recomputed over the *debited* capacity, and once the fleet is
+//! over-committed relative to what the survivors can host, admission
+//! freezes rather than quietly overselling the guarantee.
+
+/// The fleet guarantee after `ejected` nodes have been removed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecomposedGuarantee {
+    /// Nodes still in the fleet (never ejected ones).
+    pub members: u32,
+    /// Spare nodes still held out of the serving set.
+    pub spares: u32,
+    /// Streams the surviving fleet can host under the guarantee.
+    pub effective_capacity: u64,
+    /// Union bound over the effective capacity:
+    /// `min(1, effective_capacity · p_error_stream)`.
+    pub p_error_any: f64,
+    /// Admission is frozen: the committed stream count exceeds what the
+    /// survivors can host (or no nodes survive), so new submissions
+    /// must be rejected until the fleet drains or heals.
+    pub frozen: bool,
+    /// Operator-facing degrade rung: `0` = full fleet, `1` = running
+    /// re-composed on debited capacity, `2` = admission frozen.
+    pub degrade_rung: u8,
+}
+
+/// Re-compose the fleet guarantee with `ejected` nodes removed.
+///
+/// `nodes` and `node_capacity` are the original composition's inputs;
+/// `p_error_stream` its per-stream bound; `committed` the streams
+/// currently admitted (hosted or queued). Mirrors the original spare
+/// rule: one node is a spare whenever more than one member survives.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn recompose(
+    nodes: u32,
+    node_capacity: u64,
+    p_error_stream: f64,
+    ejected: u32,
+    committed: u64,
+) -> RecomposedGuarantee {
+    let members = nodes.saturating_sub(ejected);
+    let spares = u32::from(members > 1);
+    let effective_capacity = u64::from(members - spares) * node_capacity;
+    let p_error_any = (effective_capacity as f64 * p_error_stream).min(1.0);
+    let frozen = members == 0 || committed > effective_capacity;
+    let degrade_rung = if frozen { 2 } else { u8::from(ejected > 0) };
+    RecomposedGuarantee {
+        members,
+        spares,
+        effective_capacity,
+        p_error_any,
+        frozen,
+        degrade_rung,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ejections_reproduces_the_original_composition() {
+        let g = recompose(16, 28, 1e-6, 0, 100);
+        assert_eq!(g.members, 16);
+        assert_eq!(g.spares, 1);
+        assert_eq!(g.effective_capacity, 15 * 28);
+        assert!((g.p_error_any - 15.0 * 28.0 * 1e-6).abs() < 1e-15);
+        assert!(!g.frozen);
+        assert_eq!(g.degrade_rung, 0);
+    }
+
+    #[test]
+    fn one_ejection_promotes_the_spare_and_debits_capacity() {
+        let g = recompose(16, 28, 1e-6, 1, 100);
+        assert_eq!(g.members, 15);
+        assert_eq!(g.spares, 1);
+        assert_eq!(g.effective_capacity, 14 * 28);
+        assert_eq!(g.degrade_rung, 1);
+        assert!(!g.frozen);
+    }
+
+    #[test]
+    fn over_commitment_freezes_admission() {
+        // 3-node fleet hosting 50 streams; two ejections leave a single
+        // member (no spare) with capacity 28 < 50 → frozen, rung 2.
+        let g = recompose(3, 28, 1e-6, 2, 50);
+        assert_eq!(g.members, 1);
+        assert_eq!(g.spares, 0);
+        assert_eq!(g.effective_capacity, 28);
+        assert!(g.frozen);
+        assert_eq!(g.degrade_rung, 2);
+    }
+
+    #[test]
+    fn full_ejection_is_frozen_not_a_panic() {
+        let g = recompose(2, 28, 1e-6, 2, 0);
+        assert_eq!(g.members, 0);
+        assert_eq!(g.effective_capacity, 0);
+        assert!(g.frozen);
+        assert_eq!(g.degrade_rung, 2);
+    }
+
+    #[test]
+    fn p_error_any_saturates_at_one() {
+        let g = recompose(64, 28, 0.5, 0, 0);
+        assert_eq!(g.p_error_any, 1.0);
+    }
+}

@@ -38,6 +38,10 @@ pub enum DumpTrigger {
     /// A stream exhausted the composed fleet glitch budget `g` this
     /// round (the per-stream bound the cluster admits against).
     BudgetBreach,
+    /// The health detector ejected a gray node this round: its streams
+    /// migrated and the fleet guarantee was re-composed, so the window
+    /// leading up to the ejection is worth a full-fidelity bundle.
+    HealthEjection,
     /// Explicit request (CLI `--dump-on-exit`, tests).
     Manual,
 }
@@ -53,6 +57,7 @@ impl DumpTrigger {
             DumpTrigger::Panic => "panic",
             DumpTrigger::LeaseExpiryStorm => "lease.expiry_storm",
             DumpTrigger::BudgetBreach => "budget.breach",
+            DumpTrigger::HealthEjection => "health.ejection",
             DumpTrigger::Manual => "manual",
         }
     }
@@ -67,6 +72,7 @@ impl DumpTrigger {
             "panic" => DumpTrigger::Panic,
             "lease.expiry_storm" => DumpTrigger::LeaseExpiryStorm,
             "budget.breach" => DumpTrigger::BudgetBreach,
+            "health.ejection" => DumpTrigger::HealthEjection,
             "manual" => DumpTrigger::Manual,
             _ => return None,
         })

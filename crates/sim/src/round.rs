@@ -972,8 +972,7 @@ mod tests {
             // The last transfer completion is the sweep's service time.
             let last_transfer = events
                 .iter()
-                .filter(|e| e.kind == EventKind::TransferComplete)
-                .last()
+                .rfind(|e| e.kind == EventKind::TransferComplete)
                 .unwrap();
             assert_eq!(last_transfer.time.to_bits(), out.service_time.to_bits());
         }

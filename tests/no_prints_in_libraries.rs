@@ -18,7 +18,7 @@ const BANNED: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"]
 /// crates automatically; this list only guards the discovery — if a
 /// crate is added without updating it, the test fails loudly instead of
 /// silently skipping the newcomer (and vice versa for removals).
-const EXPECTED_CRATES: [&str; 17] = [
+const EXPECTED_CRATES: [&str; 18] = [
     "bench",
     "cache",
     "cli",
@@ -26,6 +26,7 @@ const EXPECTED_CRATES: [&str; 17] = [
     "core",
     "disk",
     "fault",
+    "health",
     "integration",
     "numerics",
     "obs",

@@ -241,6 +241,104 @@ fn event_engine_rounds_are_identical_across_job_counts() {
 }
 
 #[test]
+fn retry_budget_exhaustion_boundary_is_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    // A read whose first-retry cost lands *exactly* on the round-slack
+    // budget: the injector's strict `>` comparison admits it — the
+    // retry is charged in full and the read still fails at p_media = 1
+    // — while any less slack denies the retry entirely. Both outcomes
+    // are pure functions of the injector's private RNG stream, so they
+    // must be bit-identical at any worker count.
+    let cfg = mzd_fault::FaultConfig::parse("media=1.0, retries=4, backoff=0.01:2:1:0").unwrap();
+    let (transfer, rotation, full_seek) = (0.01f64, 0.011f64, 0.02f64);
+    // Mirror the injector's own arithmetic: reread = rotations·rotation
+    // + transfer, first-retry cost = backoff(0) + reread.
+    let exact = 0.01 + (1.0 * rotation + transfer);
+    let run = || {
+        let slacks = [exact, exact - 1e-12, 1.0, 0.0];
+        mzd_par::par_map(&slacks, |&slack| {
+            let mut inj = mzd_fault::FaultInjector::new(&cfg, 11);
+            inj.begin_round();
+            let p = inj.perturb_read(0, transfer, rotation, full_seek, slack);
+            (
+                p.failed,
+                p.retry_time.to_bits(),
+                p.extra_time.to_bits(),
+                inj.counters().retries,
+            )
+        })
+    };
+    let reference = with_jobs(1, run);
+    let on_budget = &reference[0];
+    assert!(on_budget.0, "p_media = 1: the read must fail");
+    assert_eq!(
+        f64::from_bits(on_budget.1),
+        exact,
+        "the exactly-on-budget retry is taken and charged in full"
+    );
+    assert_eq!(on_budget.3, 1, "exactly one retry fits the exact budget");
+    let under_budget = &reference[1];
+    assert!(under_budget.0, "p_media = 1: the read must fail");
+    assert_eq!(
+        under_budget.1,
+        0.0f64.to_bits(),
+        "a hair less slack denies the retry outright"
+    );
+    assert_eq!(under_budget.3, 0, "no retry fits under the exact cost");
+    for jobs in JOB_COUNTS {
+        assert_eq!(reference, with_jobs(jobs, run), "jobs = {jobs}");
+    }
+}
+
+#[test]
+fn gray_fleet_health_is_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    // The graynode fleet anchor: creeping degradation plus the health
+    // subsystem end to end — per-node suspicion, hedged dispatch during
+    // probation, ejection migration, and the re-composed guarantee —
+    // must come out byte-identical at any worker count.
+    let run = || {
+        let mut cfg = mzd_cluster::ClusterConfig::paper_reference(8, 1).unwrap();
+        cfg.node.faults = Some(mzd_fault::FaultConfig::parse("gray=creep:10:60:2.5").unwrap());
+        cfg.gray_node = 3;
+        let mut fleet = mzd_cluster::Cluster::new(cfg, 4242).unwrap();
+        fleet
+            .enable_health(mzd_health::HealthConfig {
+                warmup_rounds: 8,
+                ..mzd_health::HealthConfig::default()
+            })
+            .unwrap();
+        let object = mzd_workload::ObjectSpec::new(
+            "gray",
+            mzd_workload::SizeDistribution::paper_default(),
+            400,
+        )
+        .unwrap();
+        for _ in 0..fleet.guarantee().fleet_capacity {
+            fleet.submit(object.clone()).unwrap();
+        }
+        let mut reports = Vec::new();
+        for _ in 0..120 {
+            reports.push(fleet.run_round());
+        }
+        let health = fleet.health_status().unwrap();
+        (reports, fleet.status(), health)
+    };
+    let reference = with_jobs(1, run);
+    assert!(
+        reference.2.ejections >= 1,
+        "the creeping gray node must be ejected"
+    );
+    assert!(
+        reference.2.hedges_issued >= 1,
+        "probation must hedge before ejection"
+    );
+    for jobs in JOB_COUNTS {
+        assert_eq!(reference, with_jobs(jobs, run), "jobs = {jobs}");
+    }
+}
+
+#[test]
 fn admission_limits_are_identical_across_job_counts() {
     let _guard = JOBS_LOCK.lock().unwrap();
     let model = GuaranteeModel::paper_reference().unwrap();
